@@ -1,0 +1,196 @@
+// Package jvmpower's benchmark harness: one testing.B benchmark per table
+// and figure in the paper's evaluation (each regenerates the figure's data
+// through the experiment runners, in quick mode so a full -bench=. pass
+// stays tractable), plus micro-benchmarks of the substrate's hot paths.
+//
+// Regenerate the full-scale figures with:
+//
+//	go run ./cmd/experiments -all
+package jvmpower_test
+
+import (
+	"io"
+	"testing"
+
+	"jvmpower/internal/core"
+	"jvmpower/internal/cpu"
+	"jvmpower/internal/experiments"
+	"jvmpower/internal/gc"
+	"jvmpower/internal/heap"
+	"jvmpower/internal/platform"
+	"jvmpower/internal/units"
+	"jvmpower/internal/vm"
+	"jvmpower/internal/workloads"
+)
+
+// benchFigure runs one figure in quick mode per iteration.
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(io.Discard)
+		r.Quick = true
+		if err := r.RunFigure(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Thermal regenerates Figure 1: the fan-on/fan-off temperature
+// trajectories and the 99 °C emergency throttle.
+func BenchmarkFig1Thermal(b *testing.B) { benchFigure(b, "fig1") }
+
+// BenchmarkFig5Benchmarks regenerates Figure 5: the benchmark table.
+func BenchmarkFig5Benchmarks(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6EnergyDecomposition regenerates Figure 6: per-component
+// energy shares under Jikes RVM + SemiSpace.
+func BenchmarkFig6EnergyDecomposition(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7EDP regenerates Figure 7: EDP vs heap size for the four
+// collectors.
+func BenchmarkFig7EDP(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8Power regenerates Figure 8: average and peak power per
+// component.
+func BenchmarkFig8Power(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkMemoryEnergy regenerates the Section VI-B memory-energy shares.
+func BenchmarkMemoryEnergy(b *testing.B) { benchFigure(b, "mem") }
+
+// BenchmarkFig9Kaffe regenerates Figure 9: Kaffe's energy distribution.
+func BenchmarkFig9Kaffe(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkFig10KaffeEDP regenerates Figure 10: Kaffe EDP vs heap size.
+func BenchmarkFig10KaffeEDP(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkFig11Embedded regenerates Figure 11: Kaffe on the PXA255.
+func BenchmarkFig11Embedded(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkCharacterizeJavac measures one full characterization run (the
+// unit of every figure): _213_javac, Jikes + GenCopy, 64 MB, P6.
+func BenchmarkCharacterizeJavac(b *testing.B) {
+	bench, err := workloads.ByName("_213_javac")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := bench.Program()
+	profile := bench.Profile.Scale(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Characterize(core.RunConfig{
+			Platform: platform.P6(),
+			VM:       vm.Config{Flavor: vm.Jikes, Collector: "GenCopy", HeapSize: 64 * units.MB, Seed: 1},
+			Program:  prog,
+			Profile:  profile,
+			FanOn:    true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+type benchRoots struct{ refs []heap.Ref }
+
+func (r *benchRoots) Roots(fn func(heap.Ref)) {
+	for _, x := range r.refs {
+		fn(x)
+	}
+}
+func (r *benchRoots) RootCount() int { return len(r.refs) }
+
+// BenchmarkCollectorAlloc measures the allocation fast path of each plan,
+// collections included.
+func BenchmarkCollectorAlloc(b *testing.B) {
+	for _, plan := range []string{"SemiSpace", "MarkSweep", "GenCopy", "GenMS", "KaffeMS"} {
+		b.Run(plan, func(b *testing.B) {
+			h := heap.New()
+			roots := &benchRoots{}
+			col, err := gc.New(plan, 16*units.MB, gc.Env{Heap: h, Roots: roots, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := col.Alloc(heap.KindObject, 0, 64, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullCollection measures a full collection over a 100k-object
+// live graph.
+func BenchmarkFullCollection(b *testing.B) {
+	for _, plan := range []string{"SemiSpace", "MarkSweep", "GenCopy", "GenMS"} {
+		b.Run(plan, func(b *testing.B) {
+			h := heap.New()
+			roots := &benchRoots{}
+			col, err := gc.New(plan, 64*units.MB, gc.Env{Heap: h, Roots: roots, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var prev heap.Ref
+			for i := 0; i < 100_000; i++ {
+				r, err := col.Alloc(heap.KindObject, 0, 64, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if prev != heap.Null {
+					h.Get(r).Refs[0] = prev
+					col.WriteBarrier(r, prev)
+				}
+				prev = r
+			}
+			roots.refs = []heap.Ref{prev}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				col.Collect("bench")
+			}
+		})
+	}
+}
+
+// BenchmarkCacheSim measures the set-associative cache simulator.
+func BenchmarkCacheSim(b *testing.B) {
+	c := cpu.NewSetAssocCache(cpu.CacheConfig{Size: 32 * units.KB, LineSize: 64, Ways: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*88) % (1 << 22))
+	}
+}
+
+// BenchmarkInterpreter measures interpreted bytecode throughput with full
+// per-access cache simulation (a linked-list builder).
+func BenchmarkInterpreter(b *testing.B) {
+	plat := platform.P6()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prog := interpProgram()
+		agg := discardSink{}
+		meter, err := core.NewMeter(plat, core.MeterOptions{Sink: agg, FanOn: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		machine, err := vm.New(vm.Config{Flavor: vm.Jikes, Collector: "GenMS", HeapSize: 8 * units.MB, Seed: 1}, prog, meter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := machine.Interpret(plat.CPU.L1D, plat.CPU.L2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampling regenerates the sampling-period fidelity
+// ablation (DAQ period vs per-component energy error).
+func BenchmarkAblationSampling(b *testing.B) { benchFigure(b, "ablation-sampling") }
+
+// BenchmarkAblationMLP regenerates the miss-level-parallelism timing-model
+// ablation.
+func BenchmarkAblationMLP(b *testing.B) { benchFigure(b, "ablation-mlp") }

@@ -1,0 +1,53 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulator: Figure 1 (thermal throttling), Figure 5 (benchmarks), Figure 6
+// (Jikes energy decomposition), Figure 7 (EDP vs heap and collector),
+// Figure 8 (component power), the Section VI-B memory-energy breakdown,
+// Figures 9 and 10 (Kaffe on the P6), and Figure 11 (Kaffe on the PXA255).
+//
+// Examples:
+//
+//	experiments -all            # everything (minutes)
+//	experiments -fig fig7       # one figure
+//	experiments -fig fig6 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jvmpower/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate: "+strings.Join(experiments.FigureNames(), ", "))
+		all   = flag.Bool("all", false, "regenerate every figure")
+		quick = flag.Bool("quick", false, "scaled-down workloads and thinned sweeps")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(os.Stdout)
+	r.Quick = *quick
+	r.Seed = *seed
+
+	start := time.Now()
+	var err error
+	switch {
+	case *all:
+		err = r.RunEverything()
+	case *fig != "":
+		err = r.RunFigure(*fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,168 @@
+// Command jvmpower runs one characterization point — a benchmark on a VM
+// configuration on a platform — and prints its per-component energy, power,
+// and performance decomposition, the unit of measurement from which every
+// figure in the paper is built.
+//
+// Examples:
+//
+//	jvmpower -bench _213_javac -vm jikes -gc SemiSpace -heap 32
+//	jvmpower -bench _209_db -vm kaffe -platform DBPXA255 -heap 16 -s10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jvmpower/internal/analysis"
+	"jvmpower/internal/component"
+	"jvmpower/internal/core"
+	"jvmpower/internal/daq"
+	"jvmpower/internal/platform"
+	"jvmpower/internal/trace"
+	"jvmpower/internal/units"
+	"jvmpower/internal/vm"
+	"jvmpower/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "_213_javac", "benchmark name (see -list)")
+		vmName    = flag.String("vm", "jikes", "virtual machine: jikes or kaffe")
+		gcName    = flag.String("gc", "", "collector: SemiSpace, MarkSweep, GenCopy, GenMS (Jikes; default GenCopy)")
+		heapMB    = flag.Int("heap", 64, "heap size in MB")
+		platName  = flag.String("platform", "P6", "platform: P6 or DBPXA255")
+		s10       = flag.Bool("s10", false, "use the s10 (reduced) input size")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		traceOut  = flag.String("trace", "", "write the raw 40µs power trace to this CSV file")
+		windowLen = flag.Duration("window", 0, "aggregate the trace into windows of this length (with -trace)")
+	)
+	flag.Parse()
+
+	if *list {
+		t := analysis.NewTable("Suite", "Benchmark", "Description")
+		for _, b := range workloads.All() {
+			t.AddRow(b.Suite, b.Name, b.Description)
+		}
+		fmt.Print(t)
+		return
+	}
+
+	if err := run(*benchName, *vmName, *gcName, *heapMB, *platName, *s10, *seed, *traceOut, *windowLen); err != nil {
+		fmt.Fprintln(os.Stderr, "jvmpower:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, vmName, gcName string, heapMB int, platName string, s10 bool, seed uint64, traceOut string, windowLen time.Duration) error {
+	bench, err := workloads.ByName(benchName)
+	if err != nil {
+		return err
+	}
+	plat, err := platform.ByName(platName)
+	if err != nil {
+		return err
+	}
+	var flavor vm.Flavor
+	switch vmName {
+	case "jikes":
+		flavor = vm.Jikes
+	case "kaffe":
+		flavor = vm.Kaffe
+	default:
+		return fmt.Errorf("unknown VM %q (want jikes or kaffe)", vmName)
+	}
+	profile := bench.Profile
+	if s10 {
+		profile = workloads.S10Profile(bench)
+	}
+
+	var recorder *daq.TraceRecorder
+	if traceOut != "" {
+		recorder = &daq.TraceRecorder{}
+	}
+	cfg := core.RunConfig{
+		Platform: plat,
+		VM: vm.Config{
+			Flavor:    flavor,
+			Collector: gcName,
+			HeapSize:  units.ByteSize(heapMB) * units.MB,
+			Seed:      seed,
+		},
+		Program: bench.Program(),
+		Profile: profile,
+		FanOn:   true,
+	}
+	if recorder != nil {
+		cfg.TraceSink = recorder
+	}
+	res, err := core.Characterize(cfg)
+	if err != nil {
+		return err
+	}
+	if recorder != nil {
+		if err := writeTrace(traceOut, recorder.Trace, windowLen); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(recorder.Trace), traceOut)
+	}
+	printDecomposition(&res.Decomposition, res.Meter)
+	st := res.GCStats
+	fmt.Printf("GC:      %d collections (%d nursery, %d full, %d increments); %v copied, %v freed; %d classes loaded\n",
+		st.Collections, st.NurseryCollections, st.FullCollections, st.Increments,
+		st.BytesCopied, st.BytesFreed, res.LoadedClasses)
+	return nil
+}
+
+func printDecomposition(d *analysis.Decomposition, m *core.Meter) {
+	fmt.Printf("%s on %s (%s, %s collector, %d MB heap)\n\n",
+		d.Benchmark, d.Platform, d.VM, d.Collector, d.HeapMB)
+
+	comps := component.JikesComponents()
+	if d.VM == "Kaffe" {
+		comps = component.KaffeComponents()
+	}
+	t := analysis.NewTable("Component", "Energy", "Share", "Time", "AvgPower", "PeakPower", "IPC", "L2miss")
+	for _, id := range comps {
+		t.AddRow(
+			id.String(),
+			d.CPUEnergy[id].String(),
+			analysis.Pct(d.CPUEnergyFrac(id)),
+			d.Time[id].Round(units.Duration(1e6)).String(),
+			d.AvgPower[id].String(),
+			d.PeakPower[id].String(),
+			fmt.Sprintf("%.2f", d.IPC(id)),
+			analysis.Pct(d.L2MissRate(id)),
+		)
+	}
+	fmt.Print(t)
+
+	peak, who := d.OverallPeak()
+	fmt.Printf("\nTotal:   %v CPU + %v memory over %v\n",
+		d.TotalCPUEnergy, d.TotalMemEnergy, d.TotalTime.Round(units.Duration(1e6)))
+	fmt.Printf("JVM:     %s of processor energy\n", analysis.Pct(d.JVMEnergyFrac()))
+	fmt.Printf("Memory:  %s of total energy\n", analysis.Pct(d.MemEnergyFrac()))
+	fmt.Printf("EDP:     %v\n", d.EDP)
+	fmt.Printf("Peak:    %v (in %s)\n", peak, who)
+	fmt.Printf("Samples: %d power samples, die %.1f °C\n", m.DAQSamples(), m.Thermal().TempC)
+}
+
+// writeTrace exports the recorded power trace: raw samples, or a windowed
+// series when a window length is given.
+func writeTrace(path string, samples []daq.Sample, window time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if window > 0 {
+		pts, err := trace.Window(samples, window)
+		if err != nil {
+			return err
+		}
+		return trace.WriteWindowCSV(f, pts)
+	}
+	return trace.WriteCSV(f, samples)
+}

@@ -1,0 +1,76 @@
+// GC sweep: the Figure 7 question for one benchmark — how does the
+// energy-delay product respond to collector choice and heap size? Runs
+// _213_javac under all four Jikes RVM plans across the paper's heap range
+// and prints the EDP series, collection counts, and the generational
+// advantage at the smallest heap.
+//
+//	go run ./examples/gcsweep [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"jvmpower/internal/analysis"
+	"jvmpower/internal/core"
+	"jvmpower/internal/gc"
+	"jvmpower/internal/platform"
+	"jvmpower/internal/units"
+	"jvmpower/internal/vm"
+	"jvmpower/internal/workloads"
+)
+
+func main() {
+	name := "_213_javac"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bench, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heaps := []int{32, 48, 64, 80, 96, 112, 128}
+	if bench.Suite == workloads.SuiteDaCapo {
+		heaps = heaps[1:] // DaCapo needs the 48 MB floor
+	}
+
+	fmt.Printf("Energy-delay product for %s (Jikes RVM, P6), J·s:\n\n", name)
+	header := []string{"Collector"}
+	for _, h := range heaps {
+		header = append(header, fmt.Sprintf("%dMB", h))
+	}
+	t := analysis.NewTable(header...)
+	edpAtSmallest := map[string]float64{}
+	for _, col := range gc.PlanNames() {
+		row := []string{col}
+		for i, h := range heaps {
+			res, err := core.Characterize(core.RunConfig{
+				Platform: platform.P6(),
+				VM: vm.Config{
+					Flavor: vm.Jikes, Collector: col,
+					HeapSize: units.ByteSize(h) * units.MB, Seed: 1,
+				},
+				Program: bench.Program(),
+				Profile: bench.Profile,
+				FanOn:   true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			edp := float64(res.Decomposition.EDP)
+			if i == 0 {
+				edpAtSmallest[col] = edp
+			}
+			row = append(row, fmt.Sprintf("%.3f (%dgc)", edp, res.GCStats.Collections))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Print(t)
+
+	ss, gm := edpAtSmallest["SemiSpace"], edpAtSmallest["GenMS"]
+	if ss > 0 {
+		fmt.Printf("\nAt %d MB, GenMS improves EDP over SemiSpace by %s (paper: up to 70%% for _213_javac).\n",
+			heaps[0], analysis.Pct(1-gm/ss))
+	}
+}

@@ -1,0 +1,22 @@
+// Thermal: the Figure 1 scenario as a runnable example — repetitive
+// _222_mpegaudio on the Pentium M, fan enabled vs disabled, with the
+// emergency 50% duty-cycle throttle engaging near 99 °C when the fan fails.
+//
+//	go run ./examples/thermal
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"jvmpower/internal/experiments"
+)
+
+func main() {
+	r := experiments.NewRunner(os.Stdout)
+	if err := r.Fig1Thermal(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSee EXPERIMENTS.md for the paper-vs-measured comparison.")
+}

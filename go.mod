@@ -1,0 +1,3 @@
+module jvmpower
+
+go 1.22

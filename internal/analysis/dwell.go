@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"jvmpower/internal/component"
+	"jvmpower/internal/daq"
+	"jvmpower/internal/stats"
+	"jvmpower/internal/units"
+)
+
+// DwellRecorder measures component dwell times — how long the component-ID
+// port holds one value before switching — at the sampling resolution the
+// DAQ sees them. Section IV-D justifies the 40 µs sampling window by
+// "typical component duration [being] hundreds of micro-seconds on our P6
+// system and milliseconds on our PXA255 system"; this recorder lets the
+// reproduction check that claim against itself.
+//
+// It is a daq.Sink decorator: samples pass through to the wrapped sink.
+type DwellRecorder struct {
+	next   daq.Sink
+	period units.Duration
+
+	cur     component.ID
+	curLen  int64
+	started bool
+
+	dwell [component.N]stats.Running
+}
+
+// NewDwellRecorder wraps next, measuring dwell at the given sampling
+// period.
+func NewDwellRecorder(next daq.Sink, period units.Duration) *DwellRecorder {
+	return &DwellRecorder{next: next, period: period}
+}
+
+// Sample implements daq.Sink.
+func (d *DwellRecorder) Sample(s daq.Sample) {
+	d.next.Sample(s)
+	if !d.started {
+		d.cur, d.curLen, d.started = s.Component, 1, true
+		return
+	}
+	if s.Component == d.cur {
+		d.curLen++
+		return
+	}
+	d.dwell[d.cur].Add(float64(d.curLen) * d.period.Seconds())
+	d.cur, d.curLen = s.Component, 1
+}
+
+// Flush closes the open dwell interval (call once at end of run).
+func (d *DwellRecorder) Flush() {
+	if d.started && d.curLen > 0 {
+		d.dwell[d.cur].Add(float64(d.curLen) * d.period.Seconds())
+		d.curLen = 0
+	}
+}
+
+// Dwell returns the dwell statistics (seconds) for a component.
+func (d *DwellRecorder) Dwell(id component.ID) stats.Running { return d.dwell[id] }

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"jvmpower/internal/component"
+	"jvmpower/internal/daq"
+)
+
+func TestDwellRecorder(t *testing.T) {
+	period := 40 * time.Microsecond
+	under := NewAggregator(period)
+	d := NewDwellRecorder(under, period)
+
+	emit := func(id component.ID, n int) {
+		for i := 0; i < n; i++ {
+			d.Sample(daq.Sample{CPU: 10, Component: id})
+		}
+	}
+	emit(component.App, 25) // 1 ms
+	emit(component.GC, 5)   // 200 µs
+	emit(component.App, 10) // 400 µs
+	d.Flush()
+
+	app := d.Dwell(component.App)
+	if app.Count() != 2 {
+		t.Fatalf("app dwell intervals = %d, want 2", app.Count())
+	}
+	if got := app.Max(); got != 25*period.Seconds() {
+		t.Fatalf("app max dwell %v, want 1ms", got)
+	}
+	gc := d.Dwell(component.GC)
+	if gc.Count() != 1 || gc.Mean() != 5*period.Seconds() {
+		t.Fatalf("gc dwell %v × %d", gc.Mean(), gc.Count())
+	}
+	// Samples passed through to the wrapped sink.
+	if under.Samples(component.App) != 35 || under.Samples(component.GC) != 5 {
+		t.Fatal("decorator swallowed samples")
+	}
+}
+
+func TestDwellFlushIdempotent(t *testing.T) {
+	period := time.Millisecond
+	d := NewDwellRecorder(NewAggregator(period), period)
+	d.Sample(daq.Sample{Component: component.App})
+	d.Flush()
+	d.Flush()
+	st := d.Dwell(component.App)
+	if st.Count() != 1 {
+		t.Fatal("double flush recorded twice")
+	}
+}
+
+func TestDwellEmpty(t *testing.T) {
+	d := NewDwellRecorder(NewAggregator(time.Millisecond), time.Millisecond)
+	d.Flush()
+	st := d.Dwell(component.App)
+	if st.Count() != 0 {
+		t.Fatal("phantom dwell interval")
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Runtime power estimation from performance counters — the paper's cited
+// future-work direction [37] (Contreras & Martonosi, ISLPED'05: "Power
+// Prediction for the Intel XScale Processor Using Hardware Performance
+// Monitor Unit Events") and the event-driven accounting of Bellosa [30].
+// A linear model over HPM-derived rates is fit against DAQ-measured power;
+// once fit, the counters alone predict power without any sense resistors.
+
+// PowerSample is one observation for the estimator: counter-derived rates
+// and the measured power they coincided with.
+type PowerSample struct {
+	IPC          float64 // instructions per cycle
+	MissPerKInst float64 // L2/memory misses per 1000 instructions
+	Watts        float64
+}
+
+// PowerModel is the fitted linear estimator P ≈ C0 + C1·IPC + C2·misses.
+type PowerModel struct {
+	C0, C1, C2 float64
+	// N is the number of observations fit; RMSE the root-mean-square
+	// residual in Watts; MeanAbsPct the mean |error|/truth.
+	N          int
+	RMSE       float64
+	MeanAbsPct float64
+}
+
+// FitPowerModel solves the least-squares problem over the samples via the
+// 3×3 normal equations. It needs at least 3 observations with nonsingular
+// design; otherwise it returns an error.
+func FitPowerModel(samples []PowerSample) (PowerModel, error) {
+	if len(samples) < 3 {
+		return PowerModel{}, fmt.Errorf("analysis: need ≥3 samples to fit, have %d", len(samples))
+	}
+	// Accumulate X'X and X'y for X rows [1, ipc, miss].
+	var xx [3][3]float64
+	var xy [3]float64
+	for _, s := range samples {
+		row := [3]float64{1, s.IPC, s.MissPerKInst}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				xx[i][j] += row[i] * row[j]
+			}
+			xy[i] += row[i] * s.Watts
+		}
+	}
+	coef, err := solve3(xx, xy)
+	if err != nil {
+		return PowerModel{}, err
+	}
+	m := PowerModel{C0: coef[0], C1: coef[1], C2: coef[2], N: len(samples)}
+
+	var sse, absPct float64
+	for _, s := range samples {
+		p := m.Predict(s.IPC, s.MissPerKInst)
+		e := p - s.Watts
+		sse += e * e
+		if s.Watts != 0 {
+			absPct += math.Abs(e) / s.Watts
+		}
+	}
+	m.RMSE = math.Sqrt(sse / float64(len(samples)))
+	m.MeanAbsPct = absPct / float64(len(samples))
+	return m, nil
+}
+
+// Predict estimates power from counter rates.
+func (m PowerModel) Predict(ipc, missPerKInst float64) float64 {
+	return m.C0 + m.C1*ipc + m.C2*missPerKInst
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, error) {
+	var x [3]float64
+	// Augment.
+	m := [3][4]float64{}
+	for i := 0; i < 3; i++ {
+		copy(m[i][:3], a[i][:])
+		m[i][3] = b[i]
+	}
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return x, fmt.Errorf("analysis: singular design matrix (column %d)", col)
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate.
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		x[i] = m[i][3] / m[i][i]
+	}
+	return x, nil
+}

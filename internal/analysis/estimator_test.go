@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// synth generates samples from a known linear law plus deterministic
+// dither.
+func synth(c0, c1, c2 float64, n int) []PowerSample {
+	var out []PowerSample
+	seed := uint64(12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	for i := 0; i < n; i++ {
+		ipc := 0.2 + 1.6*next()
+		miss := 20 * next()
+		noise := (next() - 0.5) * 0.05
+		out = append(out, PowerSample{
+			IPC: ipc, MissPerKInst: miss,
+			Watts: c0 + c1*ipc + c2*miss + noise,
+		})
+	}
+	return out
+}
+
+func TestFitRecoversCoefficients(t *testing.T) {
+	m, err := FitPowerModel(synth(5.0, 10.0, -0.2, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.C0-5.0) > 0.1 || math.Abs(m.C1-10.0) > 0.1 || math.Abs(m.C2+0.2) > 0.02 {
+		t.Fatalf("coefficients %.3f %.3f %.3f, want 5 10 -0.2", m.C0, m.C1, m.C2)
+	}
+	if m.RMSE > 0.05 {
+		t.Fatalf("RMSE %v too high for near-noiseless data", m.RMSE)
+	}
+	if m.N != 500 {
+		t.Fatalf("N = %d", m.N)
+	}
+}
+
+func TestFitExactOnNoiselessData(t *testing.T) {
+	samples := []PowerSample{
+		{IPC: 0.5, MissPerKInst: 2, Watts: 4 + 8*0.5 - 0.1*2},
+		{IPC: 1.0, MissPerKInst: 0, Watts: 4 + 8*1.0},
+		{IPC: 1.5, MissPerKInst: 10, Watts: 4 + 8*1.5 - 0.1*10},
+		{IPC: 0.8, MissPerKInst: 5, Watts: 4 + 8*0.8 - 0.1*5},
+	}
+	m, err := FitPowerModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.C0-4) > 1e-9 || math.Abs(m.C1-8) > 1e-9 || math.Abs(m.C2+0.1) > 1e-9 {
+		t.Fatalf("exact fit failed: %.6f %.6f %.6f", m.C0, m.C1, m.C2)
+	}
+	if m.RMSE > 1e-9 {
+		t.Fatalf("nonzero residual on exact data: %v", m.RMSE)
+	}
+}
+
+func TestFitRejectsDegenerate(t *testing.T) {
+	if _, err := FitPowerModel(nil); err == nil {
+		t.Error("empty sample set accepted")
+	}
+	if _, err := FitPowerModel(synth(1, 1, 1, 2)); err == nil {
+		t.Error("two samples accepted")
+	}
+	// Singular design: all samples identical.
+	same := []PowerSample{{1, 1, 10}, {1, 1, 10}, {1, 1, 10}, {1, 1, 10}}
+	if _, err := FitPowerModel(same); err == nil {
+		t.Error("singular design accepted")
+	}
+}
+
+// Property: for samples generated from any linear law, the fit predicts
+// in-sample points to within numerical tolerance.
+func TestFitPropertyLinearLaw(t *testing.T) {
+	f := func(c0, c1, c2 float64) bool {
+		c0 = math.Mod(c0, 20)
+		c1 = math.Mod(c1, 20)
+		c2 = math.Mod(c2, 2)
+		samples := synth(c0, c1, c2, 60)
+		m, err := FitPowerModel(samples)
+		if err != nil {
+			return false
+		}
+		for _, s := range samples {
+			if math.Abs(m.Predict(s.IPC, s.MissPerKInst)-s.Watts) > 0.2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package classfile
+
+import (
+	"fmt"
+
+	"jvmpower/internal/isa"
+	"jvmpower/internal/units"
+)
+
+// Builder assembles a Program incrementally. It is the programmatic
+// equivalent of a compiler + jar tool and is used by internal/workloads to
+// construct the synthetic benchmark programs and by tests to build small
+// hand-written programs.
+type Builder struct {
+	prog    *Program
+	byName  map[string]ClassID
+	methods map[string]MethodID
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		prog:    &Program{Name: name},
+		byName:  make(map[string]ClassID),
+		methods: make(map[string]MethodID),
+	}
+}
+
+// ClassSpec describes a class to add.
+type ClassSpec struct {
+	Name       string
+	Super      string // empty for a root class
+	Fields     []Field
+	StaticInts int
+	StaticRefs int
+	System     bool
+	FileBytes  units.ByteSize // 0 derives a size from the field/method count
+}
+
+// AddClass adds a class and returns its ID. Duplicate names panic: the
+// builder is only driven by generators whose inputs are program bugs, not
+// user data.
+func (b *Builder) AddClass(spec ClassSpec) ClassID {
+	if _, dup := b.byName[spec.Name]; dup {
+		panic(fmt.Sprintf("classfile: duplicate class %q", spec.Name))
+	}
+	super := NoClass
+	if spec.Super != "" {
+		s, ok := b.byName[spec.Super]
+		if !ok {
+			panic(fmt.Sprintf("classfile: class %q names unknown super %q", spec.Name, spec.Super))
+		}
+		super = s
+	}
+	id := ClassID(len(b.prog.Classes))
+	c := &Class{
+		ID:         id,
+		Name:       spec.Name,
+		Super:      super,
+		Fields:     spec.Fields,
+		StaticInts: spec.StaticInts,
+		StaticRefs: spec.StaticRefs,
+		System:     spec.System,
+		FileBytes:  spec.FileBytes,
+	}
+	b.prog.Classes = append(b.prog.Classes, c)
+	b.byName[spec.Name] = id
+	return id
+}
+
+// MethodSpec describes a method to add.
+type MethodSpec struct {
+	Class      ClassID
+	Name       string
+	RefArgs    []bool // one entry per argument; length defines NArgs
+	ExtraSlots int    // locals beyond the arguments
+	ReturnsRef bool
+	Code       []isa.Instr
+}
+
+// AddMethod adds a method to a previously added class and returns its ID.
+func (b *Builder) AddMethod(spec MethodSpec) MethodID {
+	if spec.Class < 0 || int(spec.Class) >= len(b.prog.Classes) {
+		panic(fmt.Sprintf("classfile: method %q names unknown class %d", spec.Name, spec.Class))
+	}
+	key := b.prog.Classes[spec.Class].Name + "." + spec.Name
+	if _, dup := b.methods[key]; dup {
+		panic(fmt.Sprintf("classfile: duplicate method %q", key))
+	}
+	id := MethodID(len(b.prog.Methods))
+	m := &Method{
+		ID:         id,
+		Class:      spec.Class,
+		Name:       spec.Name,
+		NArgs:      len(spec.RefArgs),
+		RefArgs:    append([]bool(nil), spec.RefArgs...),
+		NLocals:    len(spec.RefArgs) + spec.ExtraSlots,
+		ReturnsRef: spec.ReturnsRef,
+		Code:       spec.Code,
+	}
+	b.prog.Methods = append(b.prog.Methods, m)
+	b.prog.Classes[spec.Class].Methods = append(b.prog.Classes[spec.Class].Methods, id)
+	b.methods[key] = id
+	return id
+}
+
+// SetEntry marks the program entry point.
+func (b *Builder) SetEntry(m MethodID) { b.prog.Entry = m }
+
+// LookupClass returns the ID for a class name added earlier.
+func (b *Builder) LookupClass(name string) (ClassID, bool) {
+	id, ok := b.byName[name]
+	return id, ok
+}
+
+// LookupMethod returns the ID for "Class.method" added earlier.
+func (b *Builder) LookupMethod(class, method string) (MethodID, bool) {
+	id, ok := b.methods[class+"."+method]
+	return id, ok
+}
+
+// Build finalizes the program: derives file sizes for classes that did not
+// specify one, validates everything, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, c := range b.prog.Classes {
+		if c.FileBytes == 0 {
+			// A rough class-file size model: constant pool + field and
+			// method metadata + ~4 bytes per bytecode.
+			sz := 320 + 24*len(c.Fields) + 18*(c.StaticInts+c.StaticRefs)
+			for _, mid := range c.Methods {
+				sz += 64 + 4*len(b.prog.Methods[mid].Code)
+			}
+			c.FileBytes = units.ByteSize(sz)
+		}
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error, for generators and tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Asm is a tiny convenience for writing instruction slices.
+func Asm(ins ...isa.Instr) []isa.Instr { return ins }
+
+// I constructs an instruction.
+func I(op isa.Opcode, operands ...int32) isa.Instr {
+	in := isa.Instr{Op: op}
+	switch len(operands) {
+	case 0:
+	case 1:
+		in.A = operands[0]
+	case 2:
+		in.A, in.B = operands[0], operands[1]
+	default:
+		panic("classfile: too many operands")
+	}
+	return in
+}

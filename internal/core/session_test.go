@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"jvmpower/internal/component"
+	"jvmpower/internal/platform"
+	"jvmpower/internal/units"
+	"jvmpower/internal/vm"
+	"jvmpower/internal/workloads"
+)
+
+// End-to-end integration: a full characterization run of a real benchmark
+// analog through the complete stack (VM + collector + loader + compilers +
+// timing + power + DAQ + HPM + analysis).
+
+func quickRun(t *testing.T, flavor vm.Flavor, col string, heapMB int, plat platform.Platform, s10 bool) Result {
+	t.Helper()
+	bench, err := workloads.ByName("_213_javac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := bench.Profile
+	if s10 {
+		profile = workloads.S10Profile(bench)
+	}
+	profile = profile.Scale(0.1) // keep the test fast
+	res, err := Characterize(RunConfig{
+		Platform: plat,
+		VM:       vm.Config{Flavor: flavor, Collector: col, HeapSize: units.ByteSize(heapMB) * units.MB, Seed: 1},
+		Program:  bench.Program(),
+		Profile:  profile,
+		FanOn:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCharacterizeJikes(t *testing.T) {
+	res := quickRun(t, vm.Jikes, "SemiSpace", 32, platform.P6(), false)
+	d := &res.Decomposition
+	if d.TotalCPUEnergy <= 0 || d.TotalTime <= 0 || d.EDP <= 0 {
+		t.Fatalf("degenerate totals: %+v", d)
+	}
+	// Base compiler, class loader, GC and App must all be present. (The
+	// optimizing compiler may legitimately be absent in a short scaled-down
+	// run: no method crosses the hotness threshold — as in a real short
+	// benchmark.)
+	for _, id := range []component.ID{component.BaseCompiler, component.ClassLoader, component.GC, component.App} {
+		if d.CPUEnergy[id] <= 0 {
+			t.Errorf("component %v has no energy", id)
+		}
+	}
+	if d.JVMEnergyFrac() <= 0 || d.JVMEnergyFrac() >= 1 {
+		t.Fatalf("JVM fraction %v", d.JVMEnergyFrac())
+	}
+	// GC ran and is attributed.
+	if res.GCStats.Collections == 0 {
+		t.Fatal("no collections")
+	}
+	if d.Time[component.GC] <= 0 {
+		t.Fatal("no GC time attributed by sampling")
+	}
+	// Physical sanity: average power within the platform envelope.
+	plat := platform.P6()
+	maxP := float64(plat.CPUPower.Idle + plat.CPUPower.ActiveMax)
+	for _, id := range component.JikesComponents() {
+		if d.CPUEnergy[id] == 0 {
+			continue
+		}
+		if p := float64(d.AvgPower[id]); p < float64(plat.CPUPower.Idle) || p > maxP {
+			t.Errorf("%v avg power %v outside envelope", id, d.AvgPower[id])
+		}
+	}
+}
+
+func TestCharacterizeKaffe(t *testing.T) {
+	res := quickRun(t, vm.Kaffe, "", 32, platform.P6(), false)
+	d := &res.Decomposition
+	if d.Collector != "KaffeMS" {
+		t.Fatalf("collector %q", d.Collector)
+	}
+	if d.CPUEnergy[component.JITCompiler] <= 0 {
+		t.Fatal("no JIT energy in a Kaffe run")
+	}
+	if d.CPUEnergy[component.BaseCompiler] != 0 || d.CPUEnergy[component.OptCompiler] != 0 {
+		t.Fatal("Jikes compilers ran under Kaffe")
+	}
+}
+
+func TestCharacterizeEmbedded(t *testing.T) {
+	res := quickRun(t, vm.Kaffe, "", 16, platform.DBPXA255(), true)
+	d := &res.Decomposition
+	if d.Platform != "DBPXA255" {
+		t.Fatalf("platform %q", d.Platform)
+	}
+	// Embedded power levels: hundreds of mW, not watts.
+	if p := float64(d.AvgPower[component.App]); p < 0.07 || p > 0.45 {
+		t.Fatalf("PXA255 app power %v outside the device envelope", d.AvgPower[component.App])
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	a := quickRun(t, vm.Jikes, "GenCopy", 48, platform.P6(), false)
+	b := quickRun(t, vm.Jikes, "GenCopy", 48, platform.P6(), false)
+	if a.Decomposition.TotalCPUEnergy != b.Decomposition.TotalCPUEnergy {
+		t.Fatalf("energy diverged: %v vs %v",
+			a.Decomposition.TotalCPUEnergy, b.Decomposition.TotalCPUEnergy)
+	}
+	if a.Decomposition.EDP != b.Decomposition.EDP {
+		t.Fatal("EDP diverged between identical runs")
+	}
+}
+
+func TestCharacterizeRequiresProgram(t *testing.T) {
+	_, err := Characterize(RunConfig{Platform: platform.P6()})
+	if err == nil {
+		t.Fatal("nil program accepted")
+	}
+}
+
+// The headline comparison of the paper, as an integration test: at a small
+// heap, the generational plans beat SemiSpace on EDP decisively.
+func TestGenerationalAdvantageAtSmallHeap(t *testing.T) {
+	ss := quickRun(t, vm.Jikes, "SemiSpace", 32, platform.P6(), false)
+	gm := quickRun(t, vm.Jikes, "GenMS", 32, platform.P6(), false)
+	if gm.Decomposition.EDP >= ss.Decomposition.EDP {
+		t.Fatalf("GenMS EDP %v not better than SemiSpace %v at 32MB",
+			gm.Decomposition.EDP, ss.Decomposition.EDP)
+	}
+}

@@ -1,0 +1,130 @@
+package daq
+
+import (
+	"testing"
+	"time"
+
+	"jvmpower/internal/component"
+	"jvmpower/internal/units"
+)
+
+func newTestDAQ(t *testing.T, period units.Duration) (*DAQ, *ComponentPort, *TraceRecorder) {
+	t.Helper()
+	port := &ComponentPort{}
+	rec := &TraceRecorder{}
+	d, err := New(Config{Period: period}, port, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, port, rec
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	port := &ComponentPort{}
+	rec := &TraceRecorder{}
+	if _, err := New(Config{Period: 0}, port, rec); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := New(Config{Period: time.Microsecond}, nil, rec); err == nil {
+		t.Error("nil port accepted")
+	}
+	if _, err := New(Config{Period: time.Microsecond}, port, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestSamplingCadence(t *testing.T) {
+	d, _, rec := newTestDAQ(t, 40*time.Microsecond)
+	d.Observe(1*time.Millisecond, 10, 1)
+	if got := d.Samples(); got != 25 {
+		t.Fatalf("1 ms at 40 µs = %d samples, want 25", got)
+	}
+	if len(rec.Trace) != 25 {
+		t.Fatalf("trace length %d", len(rec.Trace))
+	}
+	// Sample timestamps land on period boundaries.
+	for i, s := range rec.Trace {
+		want := time.Duration(i+1) * 40 * time.Microsecond
+		if s.Time != want {
+			t.Fatalf("sample %d at %v, want %v", i, s.Time, want)
+		}
+	}
+}
+
+func TestSamplingAcrossObservations(t *testing.T) {
+	d, _, rec := newTestDAQ(t, 40*time.Microsecond)
+	// 3 × 30 µs observations = 90 µs → exactly 2 samples.
+	for i := 0; i < 3; i++ {
+		d.Observe(30*time.Microsecond, units.Power(float64(i)), 0)
+	}
+	if len(rec.Trace) != 2 {
+		t.Fatalf("samples = %d, want 2", len(rec.Trace))
+	}
+	// The first sample (at 40 µs) falls in the second observation (power 1).
+	if rec.Trace[0].CPU != 1 {
+		t.Fatalf("first sample power %v, want 1", rec.Trace[0].CPU)
+	}
+	// The second (at 80 µs) falls in the third (power 2).
+	if rec.Trace[1].CPU != 2 {
+		t.Fatalf("second sample power %v, want 2", rec.Trace[1].CPU)
+	}
+}
+
+func TestComponentAttribution(t *testing.T) {
+	d, port, rec := newTestDAQ(t, 40*time.Microsecond)
+	port.Write(component.GC)
+	d.Observe(100*time.Microsecond, 12, 1)
+	port.Write(component.App)
+	d.Observe(100*time.Microsecond, 14, 1)
+	var gcN, appN int
+	for _, s := range rec.Trace {
+		switch s.Component {
+		case component.GC:
+			gcN++
+		case component.App:
+			appN++
+		}
+	}
+	if gcN != 2 || appN != 3 {
+		t.Fatalf("attribution GC=%d App=%d, want 2/3", gcN, appN)
+	}
+}
+
+// The paper's 40 µs window: a power excursion shorter than the period that
+// sits between sample instants is invisible.
+func TestShortTransientsAreMissed(t *testing.T) {
+	d, _, rec := newTestDAQ(t, 40*time.Microsecond)
+	d.Observe(10*time.Microsecond, 10, 0)
+	d.Observe(5*time.Microsecond, 99, 0) // transient spike between samples
+	d.Observe(25*time.Microsecond, 10, 0)
+	if len(rec.Trace) != 1 {
+		t.Fatalf("samples = %d", len(rec.Trace))
+	}
+	if rec.Trace[0].CPU != 10 {
+		t.Fatalf("transient leaked into sample: %v", rec.Trace[0].CPU)
+	}
+}
+
+func TestPortWrites(t *testing.T) {
+	var p ComponentPort
+	if p.Read() != component.Idle {
+		t.Fatal("port should initialize to Idle")
+	}
+	p.Write(component.GC)
+	p.Write(component.App)
+	if p.Read() != component.App || p.Writes() != 2 {
+		t.Fatalf("port state %v/%d", p.Read(), p.Writes())
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	d, _, _ := newTestDAQ(t, time.Millisecond)
+	d.Observe(300*time.Microsecond, 1, 1)
+	d.Observe(300*time.Microsecond, 1, 1)
+	if d.Now() != 600*time.Microsecond {
+		t.Fatalf("now = %v", d.Now())
+	}
+	if d.Period() != time.Millisecond {
+		t.Fatalf("period = %v", d.Period())
+	}
+}

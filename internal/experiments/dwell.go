@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jvmpower/internal/analysis"
+	"jvmpower/internal/component"
+	"jvmpower/internal/core"
+	"jvmpower/internal/platform"
+	"jvmpower/internal/units"
+	"jvmpower/internal/vm"
+	"jvmpower/internal/workloads"
+)
+
+// Dwell measures component dwell times — how long the component-ID port
+// holds a value before the VM dispatches something else — validating the
+// claim Section IV-D rests the 40 µs sampling window on: "typical component
+// duration is hundreds of micro-seconds on our P6 system and milliseconds
+// on our PXA255 system, [so] our sampling fidelity accurately captures all
+// important behavior."
+func (r *Runner) Dwell() error {
+	r.printf("\n== Methodology check (Sec. IV-D): component dwell times ==\n")
+
+	runOn := func(plat platform.Platform, flavor vm.Flavor, heapMB int, s10 bool) (*analysis.DwellRecorder, error) {
+		bench, err := workloads.ByName("_213_javac")
+		if err != nil {
+			return nil, err
+		}
+		profile := bench.Profile
+		if s10 {
+			profile = workloads.S10Profile(bench)
+		}
+		if r.Quick {
+			profile = profile.Scale(0.25)
+		}
+		agg := analysis.NewAggregator(plat.DAQPeriod)
+		dwell := analysis.NewDwellRecorder(agg, plat.DAQPeriod)
+		meter, err := core.NewMeter(plat, core.MeterOptions{Sink: dwell, FanOn: true, Seed: r.Seed})
+		if err != nil {
+			return nil, err
+		}
+		machine, err := vm.New(vm.Config{Flavor: flavor, HeapSize: units.ByteSize(heapMB) * units.MB, Seed: r.Seed},
+			bench.Program(), meter)
+		if err != nil {
+			return nil, err
+		}
+		if err := machine.RunProfile(profile); err != nil {
+			return nil, err
+		}
+		dwell.Flush()
+		return dwell, nil
+	}
+
+	t := analysis.NewTable("Platform/VM", "Component", "Mean dwell", "Max dwell", "Switches")
+	report := func(label string, d *analysis.DwellRecorder) {
+		for _, id := range []component.ID{component.App, component.GC, component.ClassLoader} {
+			st := d.Dwell(id)
+			if st.Count() == 0 {
+				continue
+			}
+			t.AddRow(label, id.String(),
+				time.Duration(st.Mean()*float64(time.Second)).Round(time.Microsecond).String(),
+				time.Duration(st.Max()*float64(time.Second)).Round(time.Microsecond).String(),
+				fmt.Sprintf("%d", st.Count()))
+		}
+	}
+
+	p6dwell, err := runOn(platform.P6(), vm.Jikes, 64, false)
+	if err != nil {
+		return err
+	}
+	report("P6/Jikes", p6dwell)
+	pxdwell, err := runOn(platform.DBPXA255(), vm.Kaffe, 16, true)
+	if err != nil {
+		return err
+	}
+	report("DBPXA255/Kaffe", pxdwell)
+
+	if _, err := t.WriteTo(r.Out); err != nil {
+		return err
+	}
+	r.printf("\nPaper's premise: dwell of hundreds of µs (P6) and ms (PXA255) — both\ncomfortably above the 40 µs sampling window, so per-component attribution\nloses little. (Dwell below the window would be invisible entirely.)\n")
+	return nil
+}

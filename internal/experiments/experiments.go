@@ -1,0 +1,277 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI): the thermal-throttling demonstration (Fig. 1),
+// the benchmark table (Fig. 5), the Jikes RVM energy decomposition (Fig. 6),
+// energy-delay products across collectors and heap sizes (Fig. 7), average
+// and peak power per component (Fig. 8), the memory-energy breakdown
+// (Sec. VI-B), the Kaffe decomposition and EDP on the P6 platform (Figs. 9
+// and 10), and the Kaffe-on-PXA255 embedded study (Fig. 11).
+//
+// A Runner caches every characterization point it computes, so figures that
+// share configurations (6, 7, and 8 all draw on the Jikes matrix) reuse
+// runs. Points execute in parallel; each run is self-contained and
+// deterministic, so the tables are reproducible bit-for-bit.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"jvmpower/internal/core"
+	"jvmpower/internal/platform"
+	"jvmpower/internal/units"
+	"jvmpower/internal/vm"
+	"jvmpower/internal/workloads"
+)
+
+// Runner executes experiment points with caching and renders figures.
+type Runner struct {
+	Out io.Writer
+	// Quick scales workloads down (~4x) and thins the heap sweep, for
+	// tests and smoke runs. Shapes survive; absolute values shift.
+	Quick bool
+	// Seed drives every run's determinism.
+	Seed uint64
+
+	mu    sync.Mutex
+	cache map[pointKey]*core.Result
+}
+
+// NewRunner returns a Runner writing to out.
+func NewRunner(out io.Writer) *Runner {
+	return &Runner{Out: out, Seed: 1, cache: make(map[pointKey]*core.Result)}
+}
+
+type pointKey struct {
+	bench     string
+	flavor    vm.Flavor
+	collector string
+	heapMB    int
+	platform  string
+	s10       bool
+	fanOff    bool
+}
+
+// Point identifies one characterization run.
+type Point struct {
+	Bench     *workloads.Benchmark
+	Flavor    vm.Flavor
+	Collector string // "" = flavor default
+	HeapMB    int
+	Platform  platform.Platform
+	S10       bool
+	FanOff    bool
+}
+
+func (p Point) key() pointKey {
+	return pointKey{
+		bench: p.Bench.Name, flavor: p.Flavor, collector: p.Collector,
+		heapMB: p.HeapMB, platform: p.Platform.Name, s10: p.S10, fanOff: p.FanOff,
+	}
+}
+
+// Run executes (or returns the cached result of) one point.
+func (r *Runner) Run(p Point) (*core.Result, error) {
+	k := p.key()
+	r.mu.Lock()
+	if res, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	profile := p.Bench.Profile
+	if p.S10 {
+		profile = workloads.S10Profile(p.Bench)
+	}
+	if r.Quick {
+		profile = profile.Scale(0.25)
+	}
+	res, err := core.Characterize(core.RunConfig{
+		Platform: p.Platform,
+		VM: vm.Config{
+			Flavor:    p.Flavor,
+			Collector: p.Collector,
+			HeapSize:  units.ByteSize(p.HeapMB) * units.MB,
+			Seed:      r.Seed,
+		},
+		Program: p.Bench.Program(),
+		Profile: profile,
+		FanOn:   !p.FanOff,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s/%s/%dMB on %s: %w",
+			p.Bench.Name, p.Flavor, p.Collector, p.HeapMB, p.Platform.Name, err)
+	}
+	r.mu.Lock()
+	r.cache[k] = &res
+	r.mu.Unlock()
+	return &res, nil
+}
+
+// RunAll executes points in parallel (results cached as they finish) and
+// returns the first error encountered, if any.
+func (r *Runner) RunAll(points []Point) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan Point)
+	errs := make(chan error, len(points))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				if _, err := r.Run(p); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for _, p := range points {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	var firstErr error
+	for err := range errs {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// JikesHeapsMB returns the heap sweep for a suite: the paper uses fixed
+// heaps of 32-128 MB in 16 MB steps; DaCapo results are reported from
+// 48 MB up (its live sets need the headroom).
+func (r *Runner) JikesHeapsMB(suite string) []int {
+	full := []int{32, 48, 64, 80, 96, 112, 128}
+	if suite == workloads.SuiteDaCapo {
+		full = []int{48, 64, 80, 96, 112, 128}
+	}
+	if r.Quick {
+		if suite == workloads.SuiteDaCapo {
+			return []int{48, 128}
+		}
+		return []int{32, 128}
+	}
+	return full
+}
+
+// EmbeddedHeapsMB returns the PXA255 heap sweep (Section VI-E).
+func (r *Runner) EmbeddedHeapsMB() []int {
+	if r.Quick {
+		return []int{12, 32}
+	}
+	return []int{12, 16, 20, 24, 28, 32}
+}
+
+// Benchmarks returns the benchmark set (a representative subset in Quick
+// mode: the calibration anchors of each suite).
+func (r *Runner) Benchmarks() []*workloads.Benchmark {
+	if !r.Quick {
+		return workloads.All()
+	}
+	names := []string{"_213_javac", "_209_db", "_222_mpegaudio", "fop", "euler"}
+	out := make([]*workloads.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := workloads.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// jikesMatrix lists every (benchmark, collector, heap) point on the P6.
+func (r *Runner) jikesMatrix(collectors []string) []Point {
+	p6 := platform.P6()
+	var pts []Point
+	for _, b := range r.Benchmarks() {
+		for _, col := range collectors {
+			for _, h := range r.JikesHeapsMB(b.Suite) {
+				pts = append(pts, Point{Bench: b, Flavor: vm.Jikes, Collector: col, HeapMB: h, Platform: p6})
+			}
+		}
+	}
+	return pts
+}
+
+// kaffeMatrix lists every (benchmark, heap) Kaffe point on the P6.
+func (r *Runner) kaffeMatrix() []Point {
+	p6 := platform.P6()
+	var pts []Point
+	for _, b := range r.Benchmarks() {
+		for _, h := range r.JikesHeapsMB(b.Suite) {
+			pts = append(pts, Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: p6})
+		}
+	}
+	return pts
+}
+
+func (r *Runner) printf(format string, args ...any) {
+	fmt.Fprintf(r.Out, format, args...)
+}
+
+// Names of all figures, in paper order.
+func FigureNames() []string {
+	names := make([]string, 0, len(figures))
+	for n := range figures {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// figures maps figure identifiers to their runners.
+var figures = map[string]func(*Runner) error{
+	"fig1":  (*Runner).Fig1Thermal,
+	"fig5":  (*Runner).Fig5Benchmarks,
+	"fig6":  (*Runner).Fig6EnergyDecomposition,
+	"fig7":  (*Runner).Fig7EDP,
+	"fig8":  (*Runner).Fig8Power,
+	"mem":   (*Runner).MemoryEnergy,
+	"fig9":  (*Runner).Fig9Kaffe,
+	"fig10": (*Runner).Fig10KaffeEDP,
+	"fig11": (*Runner).Fig11Embedded,
+	// Ablations of this reproduction's own design choices (not paper
+	// figures): sampling-period fidelity and the MLP timing dimension.
+	"ablation-sampling": (*Runner).AblationSampling,
+	"ablation-mlp":      (*Runner).AblationMLP,
+	// Extensions from the paper's future-work section.
+	"dvfs":       (*Runner).DVFS,
+	"thermal-gc": (*Runner).ThermalGC,
+	"hpm-power":  (*Runner).HPMPower,
+	"dwell":      (*Runner).Dwell,
+}
+
+// RunFigure regenerates one figure by identifier ("fig1".."fig11", "mem").
+func (r *Runner) RunFigure(name string) error {
+	fn, ok := figures[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown figure %q (have %v)", name, FigureNames())
+	}
+	return fn(r)
+}
+
+// RunEverything regenerates all figures in paper order.
+func (r *Runner) RunEverything() error {
+	order := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "mem", "fig9", "fig10", "fig11",
+		"ablation-sampling", "ablation-mlp", "dvfs", "thermal-gc", "hpm-power", "dwell"}
+	for _, n := range order {
+		if err := r.RunFigure(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

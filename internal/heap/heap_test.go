@@ -1,0 +1,113 @@
+package heap
+
+import (
+	"testing"
+
+	"jvmpower/internal/units"
+)
+
+func TestHeapAllocAndFree(t *testing.T) {
+	h := New()
+	r1 := h.NewObject(KindObject, 0, 64, 2, 0x1000)
+	r2 := h.NewObject(KindIntArray, -1, 128, 0, 0x2000)
+	if r1 == Null || r2 == Null || r1 == r2 {
+		t.Fatalf("bad refs %d %d", r1, r2)
+	}
+	if h.LiveCount() != 2 || h.LiveBytes() != 192 {
+		t.Fatalf("live %d/%v", h.LiveCount(), h.LiveBytes())
+	}
+	if h.AllocCount() != 2 || h.AllocBytes() != 192 {
+		t.Fatalf("alloc %d/%v", h.AllocCount(), h.AllocBytes())
+	}
+	o := h.Get(r1)
+	if o.Size != 64 || len(o.Refs) != 2 || o.Addr != 0x1000 {
+		t.Fatalf("object state %+v", o)
+	}
+
+	h.Free(r1)
+	if h.LiveCount() != 1 || h.LiveBytes() != 128 {
+		t.Fatalf("after free: live %d/%v", h.LiveCount(), h.LiveBytes())
+	}
+	// Freed slot is recycled.
+	r3 := h.NewObject(KindObject, 0, 32, 1, 0x3000)
+	if r3 != r1 {
+		t.Fatalf("slot not recycled: got %d want %d", r3, r1)
+	}
+	if got := h.Get(r3); got.Size != 32 || len(got.Refs) != 1 || got.Refs[0] != Null {
+		t.Fatalf("recycled object dirty: %+v", got)
+	}
+}
+
+func TestHeapGetPanicsOnNull(t *testing.T) {
+	h := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic dereferencing Null")
+		}
+	}()
+	h.Get(Null)
+}
+
+func TestForEach(t *testing.T) {
+	h := New()
+	a := h.NewObject(KindObject, 0, 16, 0, 0)
+	b := h.NewObject(KindObject, 0, 16, 0, 16)
+	h.Free(a)
+	var seen []Ref
+	h.ForEach(func(r Ref, o *Object) { seen = append(seen, r) })
+	if len(seen) != 1 || seen[0] != b {
+		t.Fatalf("ForEach saw %v, want [%d]", seen, b)
+	}
+}
+
+func TestArraySize(t *testing.T) {
+	if got := ArraySize(10, 4); got != 8+4+40 {
+		t.Fatalf("array size = %d", got)
+	}
+}
+
+func TestBumpSpace(t *testing.T) {
+	s := NewBumpSpace("b", Region{Base: 0x1000, Limit: 0x1100}) // 256 B
+	a1, ok := s.Alloc(10)
+	if !ok || a1 != 0x1000 {
+		t.Fatalf("first alloc at %#x ok=%v", a1, ok)
+	}
+	a2, ok := s.Alloc(8)
+	if !ok || a2 != 0x1010 { // 10 rounds to 16
+		t.Fatalf("second alloc at %#x (want 8-aligned bump)", a2)
+	}
+	if s.Used() != 24 || s.Free() != 232 {
+		t.Fatalf("used=%v free=%v", s.Used(), s.Free())
+	}
+	if _, ok := s.Alloc(1000); ok {
+		t.Fatal("oversized alloc should fail")
+	}
+	s.Reset()
+	if s.Used() != 0 {
+		t.Fatal("reset did not clear usage")
+	}
+}
+
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	lay := NewLayout()
+	r1 := lay.Take(1 * units.MB)
+	r2 := lay.Take(2 * units.MB)
+	if r1.Limit > r2.Base {
+		t.Fatalf("regions overlap: %+v %+v", r1, r2)
+	}
+	if r1.Extent() != 1*units.MB || r2.Extent() != 2*units.MB {
+		t.Fatal("extents wrong")
+	}
+	if !r1.Contains(r1.Base) || r1.Contains(r1.Limit) {
+		t.Fatal("Contains boundary semantics wrong")
+	}
+}
+
+func TestLayoutPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-size region")
+		}
+	}()
+	NewLayout().Take(0)
+}

@@ -1,0 +1,97 @@
+package hpm
+
+import (
+	"testing"
+	"time"
+
+	"jvmpower/internal/component"
+	"jvmpower/internal/cpu"
+)
+
+func TestNewRejectsBadPeriod(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestSingleComponentAttribution(t *testing.T) {
+	s, err := New(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 ms of App with 1M instructions spread uniformly.
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Millisecond, component.App, cpu.Counters{Instructions: 100_000, Cycles: 150_000})
+	}
+	got := s.Counters(component.App)
+	if got.Instructions != 1_000_000 {
+		t.Fatalf("attributed %d instructions, want 1M", got.Instructions)
+	}
+	if s.Time(component.App) != 10*time.Millisecond {
+		t.Fatalf("attributed time %v", s.Time(component.App))
+	}
+	if s.Ticks() != 10 {
+		t.Fatalf("ticks %d", s.Ticks())
+	}
+}
+
+// A slice spanning several ticks is attributed to its component in full.
+func TestLongSliceSplitsAcrossTicks(t *testing.T) {
+	s, _ := New(time.Millisecond)
+	s.Observe(5*time.Millisecond, component.GC, cpu.Counters{Instructions: 500})
+	if got := s.Counters(component.GC).Instructions; got < 499 || got > 500 {
+		t.Fatalf("GC instructions %d, want ≈500", got)
+	}
+	if s.Time(component.GC) != 5*time.Millisecond {
+		t.Fatalf("GC time %v", s.Time(component.GC))
+	}
+}
+
+// The methodology's attribution skew: work done by component A in the
+// fraction of a tick interval before a switch is attributed to component B
+// running at the tick. The skew is bounded by one tick per switch.
+func TestAttributionSkewBounded(t *testing.T) {
+	s, _ := New(time.Millisecond)
+	// 0.5 ms of GC then 0.5 ms of App, repeatedly: every tick lands in
+	// App, so everything is attributed to App.
+	for i := 0; i < 10; i++ {
+		s.Observe(500*time.Microsecond, component.GC, cpu.Counters{Instructions: 100})
+		s.Observe(500*time.Microsecond, component.App, cpu.Counters{Instructions: 100})
+	}
+	gc := s.Counters(component.GC).Instructions
+	app := s.Counters(component.App).Instructions
+	if gc != 0 {
+		t.Fatalf("GC got %d instructions; sampling should attribute all to App here", gc)
+	}
+	if app != 2000 {
+		t.Fatalf("App got %d instructions, want 2000 (skew absorbs GC's share)", app)
+	}
+}
+
+// With slices much longer than the tick, attribution converges to truth.
+func TestAttributionConvergesForLongPhases(t *testing.T) {
+	s, _ := New(time.Millisecond)
+	s.Observe(100*time.Millisecond, component.GC, cpu.Counters{Instructions: 1000})
+	s.Observe(300*time.Millisecond, component.App, cpu.Counters{Instructions: 9000})
+	gc := s.Counters(component.GC).Instructions
+	app := s.Counters(component.App).Instructions
+	if gc < 950 || gc > 1050 {
+		t.Fatalf("GC %d, want ≈1000", gc)
+	}
+	if app < 8900 || app > 9100 {
+		t.Fatalf("App %d, want ≈9000", app)
+	}
+	tGC, tApp := s.Time(component.GC), s.Time(component.App)
+	if tGC != 100*time.Millisecond || tApp != 300*time.Millisecond {
+		t.Fatalf("times %v/%v", tGC, tApp)
+	}
+}
+
+func TestZeroDurationObserve(t *testing.T) {
+	s, _ := New(time.Millisecond)
+	s.Observe(0, component.App, cpu.Counters{Instructions: 5})
+	s.Observe(2*time.Millisecond, component.App, cpu.Counters{})
+	if got := s.Counters(component.App).Instructions; got != 5 {
+		t.Fatalf("pending counters lost: %d", got)
+	}
+}

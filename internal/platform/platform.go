@@ -1,0 +1,192 @@
+// Package platform defines the two hardware platforms of the study
+// (Section IV-B): the 1.6 GHz Pentium M development board ("P6") and the
+// Intel DBPXA255 development board with a 400 MHz PXA255 XScale
+// microcontroller. A Platform bundles the processor timing model, the
+// processor and memory power models, the physical measurement chain
+// parameters, the thermal assembly, and the sampling rates the paper used
+// on each board.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"jvmpower/internal/cpu"
+	"jvmpower/internal/power"
+	"jvmpower/internal/thermal"
+	"jvmpower/internal/units"
+)
+
+// Platform describes one measured board.
+type Platform struct {
+	Name string
+	CPU  cpu.Config
+
+	CPUPower power.CPUModel
+	MemPower power.MemoryModel
+
+	// Rail voltages and sense resistances for the measurement chains.
+	CPURailVolts float64
+	CPUSenseOhms float64
+	MemRailVolts float64
+	MemSenseOhms float64
+
+	// DAQPeriod is the power sampling interval; HPMPeriod the OS timer
+	// period driving performance sampling.
+	DAQPeriod units.Duration
+	HPMPeriod units.Duration
+
+	// DVFS lists the processor's voltage/frequency operating points
+	// (nominal first).
+	DVFS power.DVFSCurve
+
+	Thermal thermal.Model
+}
+
+// Validate checks the full platform description.
+func (p Platform) Validate() error {
+	if err := p.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := p.CPUPower.Validate(); err != nil {
+		return err
+	}
+	if err := p.MemPower.Validate(); err != nil {
+		return err
+	}
+	if err := p.Thermal.Validate(); err != nil {
+		return err
+	}
+	if p.DAQPeriod <= 0 || p.HPMPeriod <= 0 {
+		return fmt.Errorf("platform %q: non-positive sampling periods", p.Name)
+	}
+	if p.CPURailVolts <= 0 || p.MemRailVolts <= 0 || p.CPUSenseOhms <= 0 || p.MemSenseOhms <= 0 {
+		return fmt.Errorf("platform %q: non-positive measurement-chain parameters", p.Name)
+	}
+	if err := p.DVFS.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// P6 returns the Pentium M development board: 1.6 GHz, 32 KB L1I/L1D,
+// 1 MB on-die L2, 512 MB SDRAM, idle power ≈4.5 W (CPU) and ≈250 mW
+// (memory), 40 µs DAQ sampling and a 1 ms OS timer (Sections IV-B/D/E).
+func P6() Platform {
+	l2 := cpu.CacheConfig{Size: 1 * units.MB, LineSize: 64, Ways: 8}
+	return Platform{
+		Name: "P6",
+		CPU: cpu.Config{
+			Name:    "PentiumM-1.6GHz",
+			ClockHz: 1.6e9,
+			BaseCPI: 0.55,
+			IPCMax:  2.0,
+			L1I:     cpu.CacheConfig{Size: 32 * units.KB, LineSize: 64, Ways: 8},
+			L1D:     cpu.CacheConfig{Size: 32 * units.KB, LineSize: 64, Ways: 8},
+			L2:      &l2,
+			// ~10-cycle L2, ~125 ns memory; the Pentium M's out-of-order
+			// window hides part of each miss and its prefetchers convert
+			// a pattern's miss-level parallelism into overlap.
+			L2HitCycles: 10,
+			MemCycles:   200,
+			MissOverlap: 0.30,
+			MLPSupport:  1.0,
+		},
+		CPUPower: power.CPUModel{
+			Idle:      4.5,
+			ActiveMax: 15.5,
+			UtilFloor: 0.30,
+			IPCMax:    2.0,
+		},
+		MemPower: power.MemoryModel{
+			Idle:            0.25,
+			EnergyPerAccess: 42e-9, // J per DRAM burst
+		},
+		CPURailVolts: 1.34, // Pentium M Vcc
+		CPUSenseOhms: 0.010,
+		MemRailVolts: 2.5, // DDR rail
+		MemSenseOhms: 0.020,
+		DAQPeriod:    40 * time.Microsecond,
+		HPMPeriod:    1 * time.Millisecond,
+		DVFS:         power.PentiumMDVFS(),
+		Thermal: thermal.Model{
+			AmbientC:              24,
+			ResistanceFanOnCPerW:  2.4, // ~60°C steady under mpegaudio load
+			ResistanceFanOffCPerW: 5.6, // reaches the 99°C trip under load
+			CapacitanceJPerC:      19,  // ~240 s ramp to trip, as in Fig. 1
+			ThrottleTripC:         99,
+			ThrottleReleaseC:      97,
+			ThrottleDuty:          0.5,
+		},
+	}
+}
+
+// DBPXA255 returns the Intel DBPXA255 development board: a 400 MHz
+// single-issue in-order XScale with 32 KB 32-way L1 caches, no L2, 64 MB
+// SDRAM, idle power ≈70 mW (CPU) and ≈5 mW (memory), 40 µs DAQ sampling
+// and a 10 ms OS timer.
+func DBPXA255() Platform {
+	return Platform{
+		Name: "DBPXA255",
+		CPU: cpu.Config{
+			Name:    "PXA255-400MHz",
+			ClockHz: 400e6,
+			BaseCPI: 1.4,
+			IPCMax:  1.0,
+			L1I:     cpu.CacheConfig{Size: 32 * units.KB, LineSize: 32, Ways: 32},
+			L1D:     cpu.CacheConfig{Size: 32 * units.KB, LineSize: 32, Ways: 32},
+			L2:      nil,
+			// No L2; ~120 ns SDRAM at 400 MHz. The single-issue in-order
+			// core hides almost none of the miss latency and extracts
+			// little miss-level parallelism.
+			L2HitCycles: 0,
+			MemCycles:   48,
+			MissOverlap: 0.05,
+			MLPSupport:  0.20,
+		},
+		CPUPower: power.CPUModel{
+			Idle:      0.070,
+			ActiveMax: 0.300,
+			UtilFloor: 0.35,
+			IPCMax:    1.0,
+		},
+		MemPower: power.MemoryModel{
+			Idle:            0.005,
+			EnergyPerAccess: 8e-9,
+		},
+		CPURailVolts: 1.3,
+		CPUSenseOhms: 0.10,
+		MemRailVolts: 3.3,
+		MemSenseOhms: 0.10,
+		DAQPeriod:    40 * time.Microsecond,
+		HPMPeriod:    10 * time.Millisecond,
+		// The PXA255 scales 400 -> 200 MHz (turbo/run modes).
+		DVFS: power.DVFSCurve{Points: []power.OperatingPoint{
+			{FreqScale: 1.0, Volts: 1.30},
+			{FreqScale: 0.5, Volts: 1.00},
+		}},
+		Thermal: thermal.Model{
+			// The XScale board runs fanless and never approaches a
+			// thermal limit; the model exists for API uniformity.
+			AmbientC:              24,
+			ResistanceFanOnCPerW:  40,
+			ResistanceFanOffCPerW: 40,
+			CapacitanceJPerC:      4,
+			ThrottleTripC:         125,
+			ThrottleReleaseC:      120,
+			ThrottleDuty:          0.5,
+		},
+	}
+}
+
+// ByName returns a platform by its name ("P6" or "DBPXA255").
+func ByName(name string) (Platform, error) {
+	switch name {
+	case "P6":
+		return P6(), nil
+	case "DBPXA255":
+		return DBPXA255(), nil
+	default:
+		return Platform{}, fmt.Errorf("platform: unknown platform %q", name)
+	}
+}

@@ -1,0 +1,98 @@
+package platform
+
+import (
+	"testing"
+
+	"jvmpower/internal/units"
+)
+
+func TestBothPlatformsValidate(t *testing.T) {
+	for _, p := range []Platform{P6(), DBPXA255()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("P6")
+	if err != nil || p.Name != "P6" {
+		t.Fatalf("ByName(P6): %v %v", p.Name, err)
+	}
+	p, err = ByName("DBPXA255")
+	if err != nil || p.Name != "DBPXA255" {
+		t.Fatalf("ByName(DBPXA255): %v %v", p.Name, err)
+	}
+	if _, err := ByName("SPARC"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+// The paper's published platform facts (Sections IV-B and IV-D).
+func TestP6MatchesPaper(t *testing.T) {
+	p := P6()
+	if p.CPU.ClockHz != 1.6e9 {
+		t.Error("Pentium M runs at 1.6 GHz")
+	}
+	if p.CPU.L1I.Size != 32*units.KB || p.CPU.L1D.Size != 32*units.KB {
+		t.Error("Pentium M has 32KB L1 caches")
+	}
+	if p.CPU.L2 == nil || p.CPU.L2.Size != 1*units.MB {
+		t.Error("Pentium M has a 1MB on-die L2")
+	}
+	if p.CPUPower.Idle != 4.5 {
+		t.Error("P6 idle processor power is ~4.5W")
+	}
+	if p.MemPower.Idle != 0.25 {
+		t.Error("P6 idle memory power is ~250mW")
+	}
+	if p.DAQPeriod.Microseconds() != 40 {
+		t.Error("DAQ samples every 40µs")
+	}
+	if p.HPMPeriod.Milliseconds() != 1 {
+		t.Error("P6 OS timer runs at 1ms")
+	}
+	if p.Thermal.ThrottleTripC != 99 || p.Thermal.ThrottleDuty != 0.5 {
+		t.Error("Pentium M throttles to 50% duty at 99°C")
+	}
+}
+
+func TestPXA255MatchesPaper(t *testing.T) {
+	p := DBPXA255()
+	if p.CPU.ClockHz != 400e6 {
+		t.Error("PXA255 runs at 400MHz")
+	}
+	if p.CPU.L2 != nil {
+		t.Error("PXA255 has no L2")
+	}
+	if p.CPU.L1I.Ways != 32 || p.CPU.L1D.Ways != 32 {
+		t.Error("PXA255 caches are 32-way")
+	}
+	if p.CPUPower.Idle != 0.070 {
+		t.Error("PXA255 idle processor power is ~70mW")
+	}
+	if p.MemPower.Idle != 0.005 {
+		t.Error("DBPXA255 idle memory power is ~5mW")
+	}
+	if p.HPMPeriod.Milliseconds() != 10 {
+		t.Error("DBPXA255 OS timer runs at 10ms")
+	}
+}
+
+// The platforms' relative character: the embedded core is far slower but
+// two orders of magnitude lower power, and hides far less miss latency.
+func TestPlatformContrast(t *testing.T) {
+	p6, px := P6(), DBPXA255()
+	if p6.CPU.ClockHz/px.CPU.ClockHz != 4 {
+		t.Error("clock ratio should be 4x")
+	}
+	if float64(p6.CPUPower.Idle)/float64(px.CPUPower.Idle) < 50 {
+		t.Error("idle power contrast should exceed 50x")
+	}
+	if px.CPU.MLPSupport >= p6.CPU.MLPSupport {
+		t.Error("in-order XScale cannot exploit MLP like the Pentium M")
+	}
+	if px.CPU.MissOverlap >= p6.CPU.MissOverlap {
+		t.Error("in-order XScale hides less miss latency")
+	}
+}

@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"jvmpower/internal/units"
+)
+
+// DVFS support: dynamic voltage and frequency scaling, the paper's first
+// listed direction of future work (Section VII). The Pentium M is the
+// canonical DVFS part of its era (Enhanced SpeedStep); its published
+// operating points pair each frequency with a minimum stable voltage.
+//
+// Dynamic power scales as f·V² and static (leakage) power roughly as V², so
+// running slower-and-lower trades performance for a superlinear power
+// reduction — worthwhile on memory-bound phases whose time barely stretches.
+
+// OperatingPoint is one DVFS step.
+type OperatingPoint struct {
+	// FreqScale is the clock relative to the nominal (1.0) point.
+	FreqScale float64
+	// Volts is the supply voltage at this point.
+	Volts float64
+}
+
+// DVFSCurve is a set of operating points, nominal first.
+type DVFSCurve struct {
+	Points []OperatingPoint
+}
+
+// PentiumMDVFS returns the Pentium M 1.6 GHz part's operating points
+// (Enhanced SpeedStep table): 1.6 GHz at 1.484 V down to 600 MHz at
+// 0.956 V.
+func PentiumMDVFS() DVFSCurve {
+	return DVFSCurve{Points: []OperatingPoint{
+		{FreqScale: 1.000, Volts: 1.484}, // 1.6 GHz
+		{FreqScale: 0.875, Volts: 1.420}, // 1.4 GHz
+		{FreqScale: 0.750, Volts: 1.276}, // 1.2 GHz
+		{FreqScale: 0.625, Volts: 1.164}, // 1.0 GHz
+		{FreqScale: 0.500, Volts: 1.036}, // 800 MHz
+		{FreqScale: 0.375, Volts: 0.956}, // 600 MHz
+	}}
+}
+
+// Validate checks the curve: non-empty, nominal point first, monotone.
+func (c DVFSCurve) Validate() error {
+	if len(c.Points) == 0 {
+		return fmt.Errorf("power: empty DVFS curve")
+	}
+	if c.Points[0].FreqScale != 1.0 {
+		return fmt.Errorf("power: DVFS curve must start at the nominal point (FreqScale 1.0)")
+	}
+	for i, p := range c.Points {
+		if p.FreqScale <= 0 || p.FreqScale > 1 || p.Volts <= 0 {
+			return fmt.Errorf("power: bad operating point %d: %+v", i, p)
+		}
+		if i > 0 && p.FreqScale >= c.Points[i-1].FreqScale {
+			return fmt.Errorf("power: DVFS points must be sorted by descending frequency")
+		}
+	}
+	return nil
+}
+
+// Nearest returns the lowest operating point whose frequency is at least
+// freqScale (the governor's legal choice for a requested speed).
+func (c DVFSCurve) Nearest(freqScale float64) OperatingPoint {
+	pts := append([]OperatingPoint(nil), c.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].FreqScale < pts[j].FreqScale })
+	for _, p := range pts {
+		if p.FreqScale >= freqScale {
+			return p
+		}
+	}
+	return pts[len(pts)-1]
+}
+
+// ScaleFactors returns the dynamic- and static-power scale factors of an
+// operating point relative to nominal: dynamic ∝ f·V², static ∝ V².
+func (c DVFSCurve) ScaleFactors(p OperatingPoint) (dynamic, static float64) {
+	v0 := c.Points[0].Volts
+	vr := p.Volts / v0
+	return p.FreqScale * vr * vr, vr * vr
+}
+
+// PowerAt returns processor power at the given IPC under an operating
+// point: the idle (largely static) term scales with V², the activity term
+// with f·V².
+func (m CPUModel) PowerAt(ipc float64, curve DVFSCurve, p OperatingPoint) units.Power {
+	dyn, stat := curve.ScaleFactors(p)
+	u := m.UtilFloor + (1-m.UtilFloor)*ipc/m.IPCMax
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return units.Power(float64(m.Idle)*stat + float64(m.ActiveMax)*u*dyn)
+}

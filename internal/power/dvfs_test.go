@@ -1,0 +1,94 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPentiumMDVFSValid(t *testing.T) {
+	c := PentiumMDVFS()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 6 {
+		t.Fatalf("SpeedStep table has %d points, want 6", len(c.Points))
+	}
+	if c.Points[0].FreqScale != 1.0 || c.Points[0].Volts != 1.484 {
+		t.Fatal("nominal point wrong")
+	}
+}
+
+func TestDVFSValidateRejects(t *testing.T) {
+	bad := DVFSCurve{}
+	if bad.Validate() == nil {
+		t.Error("empty curve accepted")
+	}
+	bad = DVFSCurve{Points: []OperatingPoint{{FreqScale: 0.5, Volts: 1}}}
+	if bad.Validate() == nil {
+		t.Error("curve without nominal point accepted")
+	}
+	bad = DVFSCurve{Points: []OperatingPoint{
+		{FreqScale: 1, Volts: 1.4}, {FreqScale: 1, Volts: 1.3},
+	}}
+	if bad.Validate() == nil {
+		t.Error("non-descending curve accepted")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	c := PentiumMDVFS()
+	if got := c.Nearest(1.0); got.FreqScale != 1.0 {
+		t.Fatalf("nearest(1.0) = %+v", got)
+	}
+	// Requesting 0.6 must round UP to the 0.625 point (never slower than
+	// asked).
+	if got := c.Nearest(0.6); got.FreqScale != 0.625 {
+		t.Fatalf("nearest(0.6) = %+v", got)
+	}
+	// Below the lowest point: the lowest point.
+	if got := c.Nearest(0.1); got.FreqScale != 0.375 {
+		t.Fatalf("nearest(0.1) = %+v", got)
+	}
+}
+
+func TestScaleFactors(t *testing.T) {
+	c := PentiumMDVFS()
+	dyn, stat := c.ScaleFactors(c.Points[0])
+	if dyn != 1 || stat != 1 {
+		t.Fatalf("nominal factors %v/%v", dyn, stat)
+	}
+	low := c.Points[len(c.Points)-1]
+	dyn, stat = c.ScaleFactors(low)
+	// 600 MHz at 0.956 V: dynamic = 0.375·(0.956/1.484)² ≈ 0.156.
+	want := 0.375 * math.Pow(0.956/1.484, 2)
+	if math.Abs(dyn-want) > 1e-9 {
+		t.Fatalf("dynamic factor %v, want %v", dyn, want)
+	}
+	if stat >= 1 || stat <= 0 {
+		t.Fatalf("static factor %v", stat)
+	}
+}
+
+func TestPowerAtMonotone(t *testing.T) {
+	c := PentiumMDVFS()
+	m := CPUModel{Idle: 4.5, ActiveMax: 15.5, UtilFloor: 0.3, IPCMax: 2}
+	// Power strictly decreases down the curve at fixed IPC.
+	prev := math.Inf(1)
+	for _, p := range c.Points {
+		got := float64(m.PowerAt(0.8, c, p))
+		if got >= prev {
+			t.Fatalf("power %v not decreasing at point %+v", got, p)
+		}
+		prev = got
+	}
+	// PowerAt at the nominal point equals the plain model.
+	if math.Abs(float64(m.PowerAt(0.8, c, c.Points[0]))-float64(m.Power(0.8))) > 1e-9 {
+		t.Fatal("nominal PowerAt disagrees with Power")
+	}
+	// The lowest point saves superlinearly vs its frequency ratio.
+	lo := c.Points[len(c.Points)-1]
+	ratio := float64(m.PowerAt(0.8, c, lo)) / float64(m.Power(0.8))
+	if ratio >= lo.FreqScale {
+		t.Fatalf("power ratio %v not superlinear vs frequency ratio %v", ratio, lo.FreqScale)
+	}
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		r.Add(x)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("count = %d, want 3", r.Count())
+	}
+	if r.Mean() != 4 {
+		t.Fatalf("mean = %v, want 4", r.Mean())
+	}
+	if r.Min() != 2 || r.Max() != 6 {
+		t.Fatalf("min/max = %v/%v, want 2/6", r.Min(), r.Max())
+	}
+	wantVar := ((2.-4)*(2.-4) + 0 + (6.-4)*(6.-4)) / 3
+	if math.Abs(r.Variance()-wantVar) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", r.Variance(), wantVar)
+	}
+}
+
+func TestRunningAddN(t *testing.T) {
+	var r Running
+	r.AddN(5, 4)
+	if r.Count() != 4 || r.Mean() != 5 || r.Variance() != 0 {
+		t.Fatalf("AddN: count=%d mean=%v var=%v", r.Count(), r.Mean(), r.Variance())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, -3, 7, 0.5}
+	var whole Running
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var a, b Running
+	for i, x := range xs {
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("merged variance %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.Count() != 1 || a.Mean() != 3 {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 3 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample should initialize: %v", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMAInvalidAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha out of range")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Fatalf("p100 = %v, want 4", got)
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Fatalf("p50 = %v, want 2.5", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %v, want 0", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+// Property: percentile is always within [min, max] and monotone in p.
+func TestPercentileProperties(t *testing.T) {
+	f := func(xs []float64, p1, p2 float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		return v1 >= lo && v2 <= hi && v1 <= v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("mean of empty = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Fatalf("geomean with nonpositive = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0.5, 2.5, 9.9, 15} {
+		h.Add(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Bins[0] != 2 { // -1 saturates into bin 0, plus 0.5
+		t.Fatalf("bin 0 = %d, want 2", h.Bins[0])
+	}
+	if h.Bins[4] != 2 { // 9.9 and saturated 15
+		t.Fatalf("bin 4 = %d, want 2", h.Bins[4])
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("bin 0 center = %v, want 1", got)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid shape")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}

@@ -1,0 +1,119 @@
+// Package thermal implements the lumped-RC package thermal model behind
+// Figure 1 of the paper: die temperature integrates processor power through
+// a thermal resistance (set by the heatsink and fan state) and a thermal
+// capacitance, and the processor's emergency response throttles the clock
+// duty cycle to 50% when the die reaches its trip point (99 °C on the
+// measured Pentium M).
+package thermal
+
+import (
+	"fmt"
+
+	"jvmpower/internal/units"
+)
+
+// Model describes a package + cooling assembly.
+type Model struct {
+	// AmbientC is the air temperature inside the enclosure.
+	AmbientC float64
+	// ResistanceFanOnCPerW / ResistanceFanOffCPerW are junction-to-ambient
+	// thermal resistances with the fan running and failed.
+	ResistanceFanOnCPerW  float64
+	ResistanceFanOffCPerW float64
+	// CapacitanceJPerC is the lumped thermal capacitance (die + spreader +
+	// heatsink).
+	CapacitanceJPerC float64
+	// ThrottleTripC engages emergency throttling; throttling releases when
+	// the die cools to ThrottleReleaseC.
+	ThrottleTripC    float64
+	ThrottleReleaseC float64
+	// ThrottleDuty is the clock duty cycle while throttled (0.5 on the
+	// Pentium M: performance halves, Section I).
+	ThrottleDuty float64
+}
+
+// Validate checks the model's parameters.
+func (m Model) Validate() error {
+	if m.ResistanceFanOnCPerW <= 0 || m.ResistanceFanOffCPerW <= 0 || m.CapacitanceJPerC <= 0 {
+		return fmt.Errorf("thermal: non-positive RC parameters: %+v", m)
+	}
+	if m.ThrottleDuty <= 0 || m.ThrottleDuty > 1 {
+		return fmt.Errorf("thermal: duty %v out of (0,1]", m.ThrottleDuty)
+	}
+	if m.ThrottleReleaseC >= m.ThrottleTripC {
+		return fmt.Errorf("thermal: release %v°C must be below trip %v°C", m.ThrottleReleaseC, m.ThrottleTripC)
+	}
+	return nil
+}
+
+// State is the evolving thermal state of one package.
+type State struct {
+	TempC      float64
+	FanOn      bool
+	Throttled  bool
+	TripCount  int64          // number of throttle engagements
+	Throttling units.Duration // cumulative throttled time
+}
+
+// NewState returns a state at thermal equilibrium with the ambient.
+func (m Model) NewState(fanOn bool) *State {
+	return &State{TempC: m.AmbientC, FanOn: fanOn}
+}
+
+// resistance returns the current junction-to-ambient resistance.
+func (m Model) resistance(s *State) float64 {
+	if s.FanOn {
+		return m.ResistanceFanOnCPerW
+	}
+	return m.ResistanceFanOffCPerW
+}
+
+// Step advances the thermal state by dt under dissipated power p:
+//
+//	C·dT/dt = P − (T − Tambient)/R
+//
+// and applies the throttle hysteresis. Long steps are internally
+// subdivided so the explicit integration stays stable.
+func (m Model) Step(s *State, p units.Power, dt units.Duration) {
+	const maxStep = 50 * 1e6 // 50 ms in ns
+	remaining := dt
+	for remaining > 0 {
+		h := remaining
+		if h > units.Duration(maxStep) {
+			h = units.Duration(maxStep)
+		}
+		remaining -= h
+		sec := h.Seconds()
+		r := m.resistance(s)
+		dT := (float64(p) - (s.TempC-m.AmbientC)/r) / m.CapacitanceJPerC
+		s.TempC += dT * sec
+		if s.Throttled {
+			s.Throttling += h
+		}
+		switch {
+		case !s.Throttled && s.TempC >= m.ThrottleTripC:
+			s.Throttled = true
+			s.TripCount++
+			s.TempC = m.ThrottleTripC // the response clamps further rise
+		case s.Throttled && s.TempC <= m.ThrottleReleaseC:
+			s.Throttled = false
+		}
+	}
+}
+
+// Duty returns the effective clock duty cycle for the current state.
+func (m Model) Duty(s *State) float64 {
+	if s.Throttled {
+		return m.ThrottleDuty
+	}
+	return 1.0
+}
+
+// SteadyStateC returns the equilibrium temperature at constant power.
+func (m Model) SteadyStateC(p units.Power, fanOn bool) float64 {
+	r := m.ResistanceFanOffCPerW
+	if fanOn {
+		r = m.ResistanceFanOnCPerW
+	}
+	return m.AmbientC + float64(p)*r
+}

@@ -1,0 +1,138 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jvmpower/internal/units"
+)
+
+func testModel() Model {
+	return Model{
+		AmbientC:              24,
+		ResistanceFanOnCPerW:  2.4,
+		ResistanceFanOffCPerW: 5.6,
+		CapacitanceJPerC:      19,
+		ThrottleTripC:         99,
+		ThrottleReleaseC:      97,
+		ThrottleDuty:          0.5,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := testModel()
+	bad.CapacitanceJPerC = 0
+	if bad.Validate() == nil {
+		t.Error("zero capacitance accepted")
+	}
+	bad = testModel()
+	bad.ThrottleReleaseC = 100
+	if bad.Validate() == nil {
+		t.Error("release above trip accepted")
+	}
+	bad = testModel()
+	bad.ThrottleDuty = 0
+	if bad.Validate() == nil {
+		t.Error("zero duty accepted")
+	}
+}
+
+func TestConvergesToSteadyState(t *testing.T) {
+	m := testModel()
+	st := m.NewState(true)
+	p := units.Power(13)
+	for i := 0; i < 10000; i++ {
+		m.Step(st, p, 100*time.Millisecond)
+	}
+	want := m.SteadyStateC(p, true)
+	if math.Abs(st.TempC-want) > 0.5 {
+		t.Fatalf("steady state %v, want %v", st.TempC, want)
+	}
+	if st.Throttled || st.TripCount != 0 {
+		t.Fatal("throttled below trip point")
+	}
+}
+
+func TestFanOffTripsAndThrottles(t *testing.T) {
+	m := testModel()
+	st := m.NewState(false)
+	p := units.Power(15.5)
+	var tripAt time.Duration
+	for t0 := time.Duration(0); t0 < 420*time.Second; t0 += 200 * time.Millisecond {
+		duty := m.Duty(st)
+		eff := units.Power(duty * float64(p))
+		m.Step(st, eff, 200*time.Millisecond)
+		if st.TripCount > 0 && tripAt == 0 {
+			tripAt = t0
+		}
+	}
+	if tripAt == 0 {
+		t.Fatal("fan-off run never tripped")
+	}
+	if tripAt < 150*time.Second || tripAt > 330*time.Second {
+		t.Fatalf("trip at %v, expected roughly four minutes (paper: 240 s)", tripAt)
+	}
+	if st.TempC > 100 {
+		t.Fatalf("temperature ran away to %v despite throttling", st.TempC)
+	}
+	if st.Throttling <= 0 {
+		t.Fatal("no throttled time accumulated")
+	}
+}
+
+func TestThrottleHysteresis(t *testing.T) {
+	m := testModel()
+	st := m.NewState(false)
+	st.TempC = 99.5
+	m.Step(st, 20, time.Millisecond)
+	if !st.Throttled {
+		t.Fatal("did not throttle above trip")
+	}
+	if m.Duty(st) != 0.5 {
+		t.Fatalf("duty %v while throttled", m.Duty(st))
+	}
+	// Cooling to just under trip must NOT release (hysteresis).
+	st.TempC = 98
+	m.Step(st, 0, time.Millisecond)
+	if !st.Throttled {
+		t.Fatal("released above the release temperature")
+	}
+	// Cooling past release does.
+	st.TempC = 96.5
+	m.Step(st, 0, time.Millisecond)
+	if st.Throttled {
+		t.Fatal("did not release below release temperature")
+	}
+	if m.Duty(st) != 1 {
+		t.Fatal("duty not restored")
+	}
+}
+
+func TestLongStepsAreStable(t *testing.T) {
+	m := testModel()
+	a := m.NewState(true)
+	b := m.NewState(true)
+	// One 10 s step vs 100 × 100 ms steps: internal subdivision should
+	// keep them close.
+	m.Step(a, 13, 10*time.Second)
+	for i := 0; i < 100; i++ {
+		m.Step(b, 13, 100*time.Millisecond)
+	}
+	if math.Abs(a.TempC-b.TempC) > 0.5 {
+		t.Fatalf("step-size sensitivity: %v vs %v", a.TempC, b.TempC)
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	m := testModel()
+	if got := m.SteadyStateC(10, true); got != 24+10*2.4 {
+		t.Fatalf("fan-on steady state %v", got)
+	}
+	if got := m.SteadyStateC(10, false); got != 24+10*5.6 {
+		t.Fatalf("fan-off steady state %v", got)
+	}
+}

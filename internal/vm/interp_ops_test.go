@@ -1,0 +1,191 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"jvmpower/internal/classfile"
+	"jvmpower/internal/isa"
+	"jvmpower/internal/units"
+)
+
+// evalProgram wraps a code fragment (which must leave its int result on the
+// stack) into a runnable program and returns the interpreted result.
+func evalProgram(t *testing.T, extraSlots int, frag ...isa.Instr) (int32, error) {
+	t.Helper()
+	b := classfile.NewBuilder("eval")
+	obj := b.AddClass(classfile.ClassSpec{Name: "Object", StaticInts: 2, StaticRefs: 1})
+	code := append(append([]isa.Instr{}, frag...), classfile.I(isa.IRETURN))
+	m := b.AddMethod(classfile.MethodSpec{Class: obj, Name: "main", ExtraSlots: extraSlots, Code: code})
+	b.SetEntry(m)
+	v, _ := newTestVM(t, b.MustBuild(), Jikes, "SemiSpace", 2*units.MB)
+	l1, l2 := testCaches()
+	st, err := v.Interpret(l1, l2, 100_000)
+	return st.ReturnValue, err
+}
+
+func evalOK(t *testing.T, want int32, extraSlots int, frag ...isa.Instr) {
+	t.Helper()
+	got, err := evalProgram(t, extraSlots, frag...)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got != want {
+		t.Fatalf("result = %d, want %d", got, want)
+	}
+}
+
+func evalErr(t *testing.T, kind string, extraSlots int, frag ...isa.Instr) {
+	t.Helper()
+	_, err := evalProgram(t, extraSlots, frag...)
+	var ie *InterpError
+	if !errors.As(err, &ie) || ie.Kind != kind {
+		t.Fatalf("err = %v, want %s", err, kind)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	I := classfile.I
+	evalOK(t, 12, 0, I(isa.ICONST, 7), I(isa.ICONST, 5), I(isa.IADD))
+	evalOK(t, 2, 0, I(isa.ICONST, 7), I(isa.ICONST, 5), I(isa.ISUB))
+	evalOK(t, 35, 0, I(isa.ICONST, 7), I(isa.ICONST, 5), I(isa.IMUL))
+	evalOK(t, 3, 0, I(isa.ICONST, 17), I(isa.ICONST, 5), I(isa.IDIV))
+	evalOK(t, 2, 0, I(isa.ICONST, 17), I(isa.ICONST, 5), I(isa.IREM))
+	evalOK(t, -9, 0, I(isa.ICONST, 9), I(isa.INEG))
+	evalOK(t, 40, 0, I(isa.ICONST, 5), I(isa.ICONST, 3), I(isa.ISHL))
+	evalOK(t, 5, 0, I(isa.ICONST, 40), I(isa.ICONST, 3), I(isa.ISHR))
+	evalOK(t, 4, 0, I(isa.ICONST, 6), I(isa.ICONST, 12), I(isa.IAND))
+	evalOK(t, 14, 0, I(isa.ICONST, 6), I(isa.ICONST, 12), I(isa.IOR))
+	evalOK(t, 10, 0, I(isa.ICONST, 6), I(isa.ICONST, 12), I(isa.IXOR))
+}
+
+func TestStackOps(t *testing.T) {
+	I := classfile.I
+	evalOK(t, 16, 0, I(isa.ICONST, 8), I(isa.DUP), I(isa.IADD))
+	evalOK(t, 3, 0, I(isa.ICONST, 3), I(isa.ICONST, 9), I(isa.POP))
+}
+
+func TestSwapOrder(t *testing.T) {
+	// Explicit check of SWAP semantics: [a=3, b=5] swap -> [5, 3]; ISUB
+	// computes 5 - 3 = 2.
+	I := classfile.I
+	evalOK(t, 2, 0, I(isa.ICONST, 3), I(isa.ICONST, 5), I(isa.SWAP), I(isa.ISUB))
+}
+
+func TestStaticsRoundTrip(t *testing.T) {
+	I := classfile.I
+	evalOK(t, 42, 0,
+		I(isa.ICONST, 42),
+		I(isa.PUTSTATIC, 0, 1),
+		I(isa.GETSTATIC, 0, 1),
+	)
+}
+
+func TestObjectFieldsRoundTrip(t *testing.T) {
+	b := classfile.NewBuilder("fields")
+	obj := b.AddClass(classfile.ClassSpec{Name: "Object"})
+	box := b.AddClass(classfile.ClassSpec{
+		Name: "Box", Super: "Object",
+		Fields: []classfile.Field{
+			{Name: "a", Kind: classfile.IntField},
+			{Name: "b", Kind: classfile.IntField},
+		},
+	})
+	I := classfile.I
+	code := []isa.Instr{
+		I(isa.NEW, int32(box)),
+		I(isa.ASTORE, 0),
+		I(isa.ALOAD, 0),
+		I(isa.ICONST, 33),
+		I(isa.PUTFIELD, 1), // b = 33
+		I(isa.ALOAD, 0),
+		I(isa.GETFIELD, 1),
+		I(isa.IRETURN),
+	}
+	m := b.AddMethod(classfile.MethodSpec{Class: obj, Name: "main", ExtraSlots: 1, Code: code})
+	b.SetEntry(m)
+	v, _ := newTestVM(t, b.MustBuild(), Jikes, "SemiSpace", 2*units.MB)
+	l1, l2 := testCaches()
+	st, err := v.Interpret(l1, l2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReturnValue != 33 {
+		t.Fatalf("field round trip = %d", st.ReturnValue)
+	}
+}
+
+func TestArrayLength(t *testing.T) {
+	I := classfile.I
+	evalOK(t, 17, 1,
+		I(isa.ICONST, 17),
+		I(isa.NEWARRAY, 4),
+		I(isa.ARRAYLEN),
+	)
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	I := classfile.I
+	evalErr(t, "ArithmeticException", 0, I(isa.ICONST, 1), I(isa.ICONST, 0), I(isa.IDIV))
+	evalErr(t, "ArithmeticException", 0, I(isa.ICONST, 1), I(isa.ICONST, 0), I(isa.IREM))
+	evalErr(t, "NegativeArraySizeException", 0, I(isa.ICONST, -1), I(isa.NEWARRAY, 4))
+	evalErr(t, "StackUnderflow", 0, I(isa.IADD))
+	// Array index out of bounds.
+	evalErr(t, "ArrayIndexOutOfBounds", 1,
+		I(isa.ICONST, 4), I(isa.NEWARRAY, 4), I(isa.ASTORE, 0),
+		I(isa.ALOAD, 0), I(isa.ICONST, 9), I(isa.IALOAD))
+	// Null dereference: local 0 starts as the zero slot.
+	evalErr(t, "NullPointerException", 1, I(isa.ALOAD, 0), I(isa.GETFIELD, 0))
+}
+
+func TestIFNull(t *testing.T) {
+	I := classfile.I
+	// Local 0 starts null: IFNULL taken.
+	evalOK(t, 1, 1,
+		I(isa.ALOAD, 0),
+		I(isa.IFNULL, 4),
+		/*2*/ I(isa.ICONST, 0),
+		/*3*/ I(isa.IRETURN),
+		/*4*/ I(isa.ICONST, 1),
+	)
+}
+
+func TestConditionalBranches(t *testing.T) {
+	I := classfile.I
+	// Each case: push value, conditional jump to "return 1", else return 0.
+	cases := []struct {
+		op    isa.Opcode
+		val   int32
+		taken bool
+	}{
+		{isa.IFEQ, 0, true}, {isa.IFEQ, 3, false},
+		{isa.IFNE, 3, true}, {isa.IFNE, 0, false},
+		{isa.IFLT, -1, true}, {isa.IFLT, 0, false},
+		{isa.IFGE, 0, true}, {isa.IFGE, -2, false},
+		{isa.IFGT, 1, true}, {isa.IFGT, 0, false},
+		{isa.IFLE, 0, true}, {isa.IFLE, 5, false},
+	}
+	for _, c := range cases {
+		want := int32(0)
+		if c.taken {
+			want = 1
+		}
+		evalOK(t, want, 0,
+			I(isa.ICONST, c.val),
+			I(c.op, 4),
+			/*2*/ I(isa.ICONST, 0),
+			/*3*/ I(isa.IRETURN),
+			/*4*/ I(isa.ICONST, 1),
+		)
+	}
+}
+
+func TestNopAndGoto(t *testing.T) {
+	I := classfile.I
+	evalOK(t, 9, 0,
+		/*0*/ I(isa.GOTO, 2),
+		/*1*/ I(isa.ICONST, 1), // skipped
+		/*2*/ I(isa.NOP),
+		/*3*/ I(isa.ICONST, 9),
+	)
+}

@@ -1,0 +1,64 @@
+package work
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddMergesVolumes(t *testing.T) {
+	w := Work{Instructions: 100, Reads: 10, Writes: 10, Locality: 0.2, MLP: 1}
+	w.Add(Work{Instructions: 50, Reads: 30, Writes: 30, Locality: 0.8, MLP: 4})
+	if w.Instructions != 150 || w.Reads != 40 || w.Writes != 40 {
+		t.Fatalf("volumes %+v", w)
+	}
+	// Locality/MLP are access-weighted: (0.2*20 + 0.8*60)/80 = 0.65.
+	if math.Abs(w.Locality-0.65) > 1e-12 {
+		t.Fatalf("locality %v, want 0.65", w.Locality)
+	}
+	if math.Abs(w.MLP-(1.0*20+4.0*60)/80) > 1e-12 {
+		t.Fatalf("MLP %v", w.MLP)
+	}
+}
+
+func TestAddEmpty(t *testing.T) {
+	var w Work
+	w.Add(Work{})
+	if !w.IsZero() {
+		t.Fatal("zero + zero should be zero")
+	}
+	w.Add(Work{Instructions: 5})
+	if w.IsZero() {
+		t.Fatal("nonzero reported as zero")
+	}
+}
+
+func TestScale(t *testing.T) {
+	w := Work{Instructions: 100, Reads: 50, Writes: 10, Locality: 0.7, MLP: 2}
+	h := w.Scale(0.5)
+	if h.Instructions != 50 || h.Reads != 25 || h.Writes != 5 {
+		t.Fatalf("scaled %+v", h)
+	}
+	if h.Locality != 0.7 || h.MLP != 2 {
+		t.Fatal("scale must not change locality/MLP")
+	}
+}
+
+// Property: merged locality stays within the operands' bounds.
+func TestAddLocalityBounds(t *testing.T) {
+	f := func(r1, w1, r2, w2 uint16, l1, l2 float64) bool {
+		l1 = math.Mod(math.Abs(l1), 1)
+		l2 = math.Mod(math.Abs(l2), 1)
+		a := Work{Reads: int64(r1), Writes: int64(w1), Locality: l1}
+		b := Work{Reads: int64(r2), Writes: int64(w2), Locality: l2}
+		lo, hi := math.Min(l1, l2), math.Max(l1, l2)
+		a.Add(b)
+		if a.Reads+a.Writes == 0 {
+			return true
+		}
+		return a.Locality >= lo-1e-9 && a.Locality <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

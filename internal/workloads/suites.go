@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"jvmpower/internal/units"
+	"jvmpower/internal/vm"
+)
+
+// The sixteen benchmark analogs of Figure 5. Profile values encode each
+// namesake's published character: execution volume is scaled down uniformly
+// (so a full parameter sweep simulates in minutes) while allocation volume,
+// live-set size, object demographics, and code structure keep the
+// proportions that determine component energy shares.
+//
+// Calibration anchors from the paper's evaluation:
+//   - _213_javac is the allocation-heavy extreme (JVM energy 60% at 32 MB).
+//   - _209_db is pointer-mutation heavy with a large resident table (its
+//     GC sets the 17.5 W peak; SemiSpace's mutator locality beats GenCopy
+//     at 128 MB by ~5%).
+//   - _222_mpegaudio is compute-bound with many hot methods (opt compiler
+//     peaks at 7% of energy).
+//   - fop is the class-loading extreme (CL = 24% of energy).
+//   - euler allocates large arrays (27% EDP drop from 32→48 MB SemiSpace).
+
+func spec(name, desc string, s Structure, p vm.BehaviorProfile) *Benchmark {
+	return register(&Benchmark{
+		Name: name, Suite: SuiteSpecJVM98, Description: desc, Structure: s, Profile: p,
+	})
+}
+
+func dacapo(name, desc string, s Structure, p vm.BehaviorProfile) *Benchmark {
+	return register(&Benchmark{
+		Name: name, Suite: SuiteDaCapo, Description: desc, Structure: s, Profile: p,
+	})
+}
+
+func jgf(name, desc string, s Structure, p vm.BehaviorProfile) *Benchmark {
+	return register(&Benchmark{
+		Name: name, Suite: SuiteJGF, Description: desc, Structure: s, Profile: p,
+	})
+}
+
+var (
+	_ = spec("_201_compress",
+		"A modified Lempel-Ziv compression algorithm",
+		Structure{AppClasses: 22, MethodsPerClass: 5, AvgMethodBytecodes: 70, AvgClassFileBytes: 3800},
+		vm.BehaviorProfile{
+			TotalBytecodes: 60e6, AllocBytes: 110 * units.MB,
+			AvgObjectBytes: 640, RefsPerObject: 0.6, LongLivedFrac: 0.18,
+			LiveTarget: 5 * units.MB, PtrStoresPerKBC: 0.6,
+			AccessesPerInstr: 0.40, Locality: 0.93, HotWorkingSet: 900 * units.KB,
+			HotMethodFrac: 0.06, HotBytecodeShare: 0.93, StartupMethodFrac: 0.30,
+			PowerPhaseAmp: 0.05, PowerPhasePeriod: 160,
+		})
+
+	_ = spec("_202_jess",
+		"A Java Expert Shell System",
+		Structure{AppClasses: 160, MethodsPerClass: 6, AvgMethodBytecodes: 42, AvgClassFileBytes: 3200},
+		vm.BehaviorProfile{
+			TotalBytecodes: 45e6, AllocBytes: 430 * units.MB,
+			AvgObjectBytes: 56, RefsPerObject: 1.6, LongLivedFrac: 0.040,
+			LiveTarget: 3 * units.MB, PtrStoresPerKBC: 4.0,
+			AccessesPerInstr: 0.36, Locality: 0.91, HotWorkingSet: 640 * units.KB,
+			HotMethodFrac: 0.05, HotBytecodeShare: 0.85, StartupMethodFrac: 0.25,
+			PowerPhaseAmp: 0.06, PowerPhasePeriod: 110,
+		})
+
+	_ = spec("_209_db",
+		"Database application working on a memory-resident database",
+		Structure{AppClasses: 16, MethodsPerClass: 5, AvgMethodBytecodes: 48, AvgClassFileBytes: 2900},
+		vm.BehaviorProfile{
+			TotalBytecodes: 42e6, AllocBytes: 150 * units.MB,
+			AvgObjectBytes: 48, RefsPerObject: 2.2, LongLivedFrac: 0.10,
+			LiveTarget: 8500 * units.KB, PtrStoresPerKBC: 9.5,
+			AccessesPerInstr: 0.44, Locality: 0.86, HotWorkingSet: 5 * units.MB,
+			HotMethodFrac: 0.10, HotBytecodeShare: 0.92, StartupMethodFrac: 0.40,
+			PowerPhaseAmp: 0.03, PowerPhasePeriod: 90,
+		})
+
+	_ = spec("_213_javac",
+		"A Java compiler based on SDK 1.02",
+		Structure{AppClasses: 170, MethodsPerClass: 7, AvgMethodBytecodes: 46, AvgClassFileBytes: 4100},
+		vm.BehaviorProfile{
+			TotalBytecodes: 40e6, AllocBytes: 330 * units.MB,
+			AvgObjectBytes: 72, RefsPerObject: 1.8, LongLivedFrac: 0.055,
+			LiveTarget: 8 * units.MB, PtrStoresPerKBC: 5.0,
+			AccessesPerInstr: 0.38, Locality: 0.90, HotWorkingSet: 800 * units.KB,
+			HotMethodFrac: 0.05, HotBytecodeShare: 0.82, StartupMethodFrac: 0.22,
+			PowerPhaseAmp: 0.07, PowerPhasePeriod: 130,
+		})
+
+	_ = spec("_222_mpegaudio",
+		"Audio decoder based on the ISO MPEG Layer-3 standard",
+		Structure{AppClasses: 55, MethodsPerClass: 6, AvgMethodBytecodes: 260, AvgClassFileBytes: 4800},
+		vm.BehaviorProfile{
+			TotalBytecodes: 70e6, AllocBytes: 60 * units.MB,
+			AvgObjectBytes: 112, RefsPerObject: 0.8, LongLivedFrac: 0.05,
+			LiveTarget: 2500 * units.KB, PtrStoresPerKBC: 0.5,
+			AccessesPerInstr: 0.33, Locality: 0.94, HotWorkingSet: 480 * units.KB,
+			HotMethodFrac: 0.16, HotBytecodeShare: 0.95, StartupMethodFrac: 0.45,
+			PowerPhaseAmp: 0.05, PowerPhasePeriod: 70,
+		})
+
+	_ = spec("_227_mtrt",
+		"Raytracing application",
+		Structure{AppClasses: 35, MethodsPerClass: 6, AvgMethodBytecodes: 52, AvgClassFileBytes: 3400},
+		vm.BehaviorProfile{
+			TotalBytecodes: 50e6, AllocBytes: 260 * units.MB,
+			AvgObjectBytes: 44, RefsPerObject: 1.4, LongLivedFrac: 0.050,
+			LiveTarget: 6 * units.MB, PtrStoresPerKBC: 3.0,
+			AccessesPerInstr: 0.36, Locality: 0.91, HotWorkingSet: 1200 * units.KB,
+			HotMethodFrac: 0.07, HotBytecodeShare: 0.90, StartupMethodFrac: 0.35,
+			PowerPhaseAmp: 0.07, PowerPhasePeriod: 100,
+		})
+
+	_ = spec("_228_jack",
+		"A Java parser generator",
+		Structure{AppClasses: 60, MethodsPerClass: 6, AvgMethodBytecodes: 50, AvgClassFileBytes: 3600},
+		vm.BehaviorProfile{
+			TotalBytecodes: 40e6, AllocBytes: 340 * units.MB,
+			AvgObjectBytes: 64, RefsPerObject: 1.3, LongLivedFrac: 0.030,
+			LiveTarget: 2500 * units.KB, PtrStoresPerKBC: 3.2,
+			AccessesPerInstr: 0.37, Locality: 0.91, HotWorkingSet: 640 * units.KB,
+			HotMethodFrac: 0.06, HotBytecodeShare: 0.86, StartupMethodFrac: 0.30,
+			PowerPhaseAmp: 0.06, PowerPhasePeriod: 120,
+		})
+
+	_ = dacapo("antlr",
+		"A grammar parser generator",
+		Structure{AppClasses: 210, MethodsPerClass: 6, AvgMethodBytecodes: 44, AvgClassFileBytes: 3700},
+		vm.BehaviorProfile{
+			TotalBytecodes: 35e6, AllocBytes: 330 * units.MB,
+			AvgObjectBytes: 60, RefsPerObject: 1.5, LongLivedFrac: 0.040,
+			LiveTarget: 4 * units.MB, PtrStoresPerKBC: 4.2,
+			AccessesPerInstr: 0.37, Locality: 0.91, HotWorkingSet: 700 * units.KB,
+			HotMethodFrac: 0.05, HotBytecodeShare: 0.82, StartupMethodFrac: 0.25,
+			PowerPhaseAmp: 0.06, PowerPhasePeriod: 100,
+		})
+
+	_ = dacapo("fop",
+		"Application that generates a PDF file from an XSL-FO file",
+		Structure{AppClasses: 600, MethodsPerClass: 5, AvgMethodBytecodes: 40, AvgClassFileBytes: 4600},
+		vm.BehaviorProfile{
+			TotalBytecodes: 26e6, AllocBytes: 200 * units.MB,
+			AvgObjectBytes: 68, RefsPerObject: 1.7, LongLivedFrac: 0.060,
+			LiveTarget: 6500 * units.KB, PtrStoresPerKBC: 4.5,
+			AccessesPerInstr: 0.38, Locality: 0.90, HotWorkingSet: 900 * units.KB,
+			HotMethodFrac: 0.03, HotBytecodeShare: 0.70, StartupMethodFrac: 0.15,
+			PowerPhaseAmp: 0.06, PowerPhasePeriod: 90,
+		})
+
+	_ = dacapo("jython",
+		"Python program interpreter",
+		Structure{AppClasses: 420, MethodsPerClass: 6, AvgMethodBytecodes: 45, AvgClassFileBytes: 4300},
+		vm.BehaviorProfile{
+			TotalBytecodes: 45e6, AllocBytes: 450 * units.MB,
+			AvgObjectBytes: 52, RefsPerObject: 1.9, LongLivedFrac: 0.030,
+			LiveTarget: 4500 * units.KB, PtrStoresPerKBC: 5.5,
+			AccessesPerInstr: 0.38, Locality: 0.90, HotWorkingSet: 800 * units.KB,
+			HotMethodFrac: 0.04, HotBytecodeShare: 0.80, StartupMethodFrac: 0.20,
+			PowerPhaseAmp: 0.07, PowerPhasePeriod: 120,
+		})
+
+	_ = dacapo("pmd",
+		"An analyzer for Java classes",
+		Structure{AppClasses: 340, MethodsPerClass: 6, AvgMethodBytecodes: 43, AvgClassFileBytes: 3900},
+		vm.BehaviorProfile{
+			TotalBytecodes: 40e6, AllocBytes: 340 * units.MB,
+			AvgObjectBytes: 56, RefsPerObject: 2.0, LongLivedFrac: 0.055,
+			LiveTarget: 8 * units.MB, PtrStoresPerKBC: 6.0,
+			AccessesPerInstr: 0.40, Locality: 0.89, HotWorkingSet: 1400 * units.KB,
+			HotMethodFrac: 0.05, HotBytecodeShare: 0.80, StartupMethodFrac: 0.22,
+			PowerPhaseAmp: 0.07, PowerPhasePeriod: 110,
+		})
+
+	_ = dacapo("ps",
+		"A PostScript file reader and interpreter",
+		Structure{AppClasses: 150, MethodsPerClass: 6, AvgMethodBytecodes: 48, AvgClassFileBytes: 3500},
+		vm.BehaviorProfile{
+			TotalBytecodes: 45e6, AllocBytes: 380 * units.MB,
+			AvgObjectBytes: 58, RefsPerObject: 1.4, LongLivedFrac: 0.035,
+			LiveTarget: 4500 * units.KB, PtrStoresPerKBC: 3.8,
+			AccessesPerInstr: 0.37, Locality: 0.91, HotWorkingSet: 700 * units.KB,
+			HotMethodFrac: 0.05, HotBytecodeShare: 0.85, StartupMethodFrac: 0.28,
+			PowerPhaseAmp: 0.06, PowerPhasePeriod: 100,
+		})
+
+	_ = jgf("euler",
+		"Benchmark on computational fluid dynamics",
+		Structure{AppClasses: 18, MethodsPerClass: 5, AvgMethodBytecodes: 110, AvgClassFileBytes: 4500},
+		vm.BehaviorProfile{
+			TotalBytecodes: 60e6, AllocBytes: 380 * units.MB,
+			AvgObjectBytes: 1800, RefsPerObject: 0.5, LongLivedFrac: 0.050,
+			LiveTarget: 8 * units.MB, PtrStoresPerKBC: 1.2,
+			AccessesPerInstr: 0.42, Locality: 0.89, HotWorkingSet: 2500 * units.KB,
+			HotMethodFrac: 0.09, HotBytecodeShare: 0.94, StartupMethodFrac: 0.50,
+			PowerPhaseAmp: 0.08, PowerPhasePeriod: 80,
+		})
+
+	_ = jgf("moldyn",
+		"A molecular dynamics simulator",
+		Structure{AppClasses: 12, MethodsPerClass: 5, AvgMethodBytecodes: 90, AvgClassFileBytes: 3600},
+		vm.BehaviorProfile{
+			TotalBytecodes: 70e6, AllocBytes: 28 * units.MB,
+			AvgObjectBytes: 480, RefsPerObject: 0.6, LongLivedFrac: 0.10,
+			LiveTarget: 3500 * units.KB, PtrStoresPerKBC: 0.8,
+			AccessesPerInstr: 0.38, Locality: 0.92, HotWorkingSet: 640 * units.KB,
+			HotMethodFrac: 0.10, HotBytecodeShare: 0.96, StartupMethodFrac: 0.55,
+			PowerPhaseAmp: 0.05, PowerPhasePeriod: 60,
+		})
+
+	_ = jgf("raytracer",
+		"A 3D raytracer",
+		Structure{AppClasses: 20, MethodsPerClass: 5, AvgMethodBytecodes: 60, AvgClassFileBytes: 3300},
+		vm.BehaviorProfile{
+			TotalBytecodes: 65e6, AllocBytes: 340 * units.MB,
+			AvgObjectBytes: 40, RefsPerObject: 1.2, LongLivedFrac: 0.030,
+			LiveTarget: 4500 * units.KB, PtrStoresPerKBC: 2.0,
+			AccessesPerInstr: 0.36, Locality: 0.91, HotWorkingSet: 640 * units.KB,
+			HotMethodFrac: 0.08, HotBytecodeShare: 0.94, StartupMethodFrac: 0.50,
+			PowerPhaseAmp: 0.06, PowerPhasePeriod: 70,
+		})
+
+	_ = jgf("search",
+		"An alpha-beta prune search",
+		Structure{AppClasses: 14, MethodsPerClass: 5, AvgMethodBytecodes: 65, AvgClassFileBytes: 3000},
+		vm.BehaviorProfile{
+			TotalBytecodes: 55e6, AllocBytes: 200 * units.MB,
+			AvgObjectBytes: 52, RefsPerObject: 1.1, LongLivedFrac: 0.030,
+			LiveTarget: 3 * units.MB, PtrStoresPerKBC: 2.4,
+			AccessesPerInstr: 0.36, Locality: 0.92, HotWorkingSet: 600 * units.KB,
+			HotMethodFrac: 0.09, HotBytecodeShare: 0.93, StartupMethodFrac: 0.45,
+			PowerPhaseAmp: 0.06, PowerPhasePeriod: 75,
+		})
+)
