@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the concurrent experiment dispatcher (RunAll workers,
+# singleflight coalescing) under the race detector.
+race:
+	$(GO) test -race ./internal/experiments/...
+
+# check is the tier-1 gate: everything must pass before a change lands.
+check: build vet test race
+
+# bench regenerates BENCH_1.json from the headline figure benchmarks.
+bench:
+	./bench.sh

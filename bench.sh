@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh — run the figure benchmarks and emit a JSON evidence file.
+#
+# Usage:  ./bench.sh [output.json]
+#
+# Runs the headline benchmarks (the measurement fast path the figures are
+# built on) with -benchmem, COUNT repetitions each, and writes a JSON file
+# containing the per-repetition ns/op plus memory stats, alongside the
+# frozen seed-state baseline for before/after comparison.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OUT=${1:-BENCH_1.json}
+COUNT=${COUNT:-5}
+PATTERN='BenchmarkCharacterizeJavac|BenchmarkFig6EnergyDecomposition|BenchmarkFig7EDP|BenchmarkFig8Power'
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$TMP" >&2
+
+awk -v count="$COUNT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix if present
+    ns[name] = ns[name] (ns[name] ? "," : "") $3
+    bytes[name] = $5
+    allocs[name] = $7
+    order[name] = 1
+}
+END {
+    printf "{\n"
+    printf "  \"description\": \"Figure-benchmark evidence: per-repetition ns/op with -benchmem, vs the frozen pre-batching seed baseline.\",\n"
+    printf "  \"command\": \"go test -run ^$ -bench ... -benchmem -count=%d .\",\n", count
+    printf "  \"baseline_seed\": {\n"
+    printf "    \"BenchmarkCharacterizeJavac\":       {\"ns_per_op\": [161529744, 160801713, 164102316], \"bytes_per_op\": 126693666, \"allocs_per_op\": 908304},\n"
+    printf "    \"BenchmarkFig6EnergyDecomposition\": {\"ns_per_op\": [1809664787, 1625820009, 1578692678], \"bytes_per_op\": 1815388632, \"allocs_per_op\": 4508447},\n"
+    printf "    \"BenchmarkFig7EDP\":                 {\"ns_per_op\": [7921246223, 9045773862, 8713729854], \"bytes_per_op\": 7822477360, \"allocs_per_op\": 22223631},\n"
+    printf "    \"BenchmarkFig8Power\":               {\"ns_per_op\": [7083825582, 6594173793, 6671900379], \"bytes_per_op\": 6405802048, \"allocs_per_op\": 18044152}\n"
+    printf "  },\n"
+    printf "  \"current\": {\n"
+    n = 0
+    for (name in order) n++
+    i = 0
+    for (name in order) {
+        i++
+        printf "    \"%s\": {\"ns_per_op\": [%s], \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, ns[name], bytes[name], allocs[name], (i < n ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT" >&2

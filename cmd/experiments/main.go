@@ -6,15 +6,19 @@
 //
 // Examples:
 //
-//	experiments -all            # everything (minutes)
-//	experiments -fig fig7       # one figure
+//	experiments -all                  # everything (minutes)
+//	experiments -fig fig7             # one figure
 //	experiments -fig fig6 -quick
+//	experiments -all -cache .points   # persist points; reruns are instant
+//	experiments -fig fig7 -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,16 +27,34 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to regenerate: "+strings.Join(experiments.FigureNames(), ", "))
-		all   = flag.Bool("all", false, "regenerate every figure")
-		quick = flag.Bool("quick", false, "scaled-down workloads and thinned sweeps")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		fig        = flag.String("fig", "", "figure to regenerate: "+strings.Join(experiments.FigureNames(), ", "))
+		all        = flag.Bool("all", false, "regenerate every figure")
+		quick      = flag.Bool("quick", false, "scaled-down workloads and thinned sweeps")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		cacheDir   = flag.String("cache", "", "directory for the on-disk point cache (empty = disabled)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	r := experiments.NewRunner(os.Stdout)
 	r.Quick = *quick
 	r.Seed = *seed
+	r.CacheDir = *cacheDir
 
 	start := time.Now()
 	var err error
@@ -50,4 +72,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation statistics
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+			os.Exit(1)
+		}
+	}
 }

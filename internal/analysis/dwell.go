@@ -16,7 +16,7 @@ import (
 //
 // It is a daq.Sink decorator: samples pass through to the wrapped sink.
 type DwellRecorder struct {
-	next   daq.Sink
+	next   daq.BatchSink
 	period units.Duration
 
 	cur     component.ID
@@ -29,22 +29,35 @@ type DwellRecorder struct {
 // NewDwellRecorder wraps next, measuring dwell at the given sampling
 // period.
 func NewDwellRecorder(next daq.Sink, period units.Duration) *DwellRecorder {
-	return &DwellRecorder{next: next, period: period}
+	return &DwellRecorder{next: daq.AsBatchSink(next), period: period}
 }
 
 // Sample implements daq.Sink.
 func (d *DwellRecorder) Sample(s daq.Sample) {
 	d.next.Sample(s)
+	d.observe(s.Component)
+}
+
+// SampleBatch implements daq.BatchSink: the run passes through batched;
+// dwell accounting still walks the samples (it is sequence-dependent).
+func (d *DwellRecorder) SampleBatch(batch []daq.Sample) {
+	d.next.SampleBatch(batch)
+	for i := range batch {
+		d.observe(batch[i].Component)
+	}
+}
+
+func (d *DwellRecorder) observe(id component.ID) {
 	if !d.started {
-		d.cur, d.curLen, d.started = s.Component, 1, true
+		d.cur, d.curLen, d.started = id, 1, true
 		return
 	}
-	if s.Component == d.cur {
+	if id == d.cur {
 		d.curLen++
 		return
 	}
 	d.dwell[d.cur].Add(float64(d.curLen) * d.period.Seconds())
-	d.cur, d.curLen = s.Component, 1
+	d.cur, d.curLen = id, 1
 }
 
 // Flush closes the open dwell interval (call once at end of run).

@@ -155,9 +155,8 @@ func (m *Meter) SetSliceObserver(fn func(component.ID, cpu.Result, units.Power))
 func (m *Meter) Execute(id component.ID, s cpu.Slice) {
 	m.port.Write(id)
 	op := m.operatingPoint(id)
-	before := m.core.Counters()
-	r := m.core.ExecuteScaled(s, op.FreqScale)
-	m.accountAt(id, r, m.core.Counters().Sub(before), op)
+	r, delta := m.core.ExecuteBatch(s, op.FreqScale)
+	m.accountAt(id, r, delta, op)
 }
 
 // operatingPoint resolves the DVFS policy for a component.
@@ -172,9 +171,8 @@ func (m *Meter) operatingPoint(id component.ID) power.OperatingPoint {
 // behavior was simulated per access.
 func (m *Meter) ExecuteMeasured(id component.ID, instructions int64, prof cpu.MissProfile, ifetchMisses int64) {
 	m.port.Write(id)
-	before := m.core.Counters()
-	r := m.core.ExecuteMeasured(instructions, prof, ifetchMisses)
-	m.accountAt(id, r, m.core.Counters().Sub(before), m.plat.DVFS.Points[0])
+	r, delta := m.core.ExecuteMeasuredBatch(instructions, prof, ifetchMisses)
+	m.accountAt(id, r, delta, m.plat.DVFS.Points[0])
 }
 
 func (m *Meter) accountAt(id component.ID, r cpu.Result, delta cpu.Counters, op power.OperatingPoint) {

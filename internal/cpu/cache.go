@@ -50,10 +50,31 @@ type SetAssocCache struct {
 	sets  int
 	tags  []uint64 // sets × ways
 	stamp []uint64 // LRU timestamps parallel to tags
+	mru   []int32  // per-set way index of the most recent hit/fill
 	clock uint64
+
+	// Power-of-two geometry fast paths (the platform configs all qualify);
+	// a shift of -1 falls back to division for odd geometries.
+	lineShift int
+	setShift  int
+	setMask   uint64
+	lastWay   int // tags/stamp index touched by the most recent access
 
 	accesses int64
 	misses   int64
+}
+
+// log2Exact returns log2(n) if n is a positive power of two, else -1.
+func log2Exact(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	s := 0
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
 }
 
 // NewSetAssocCache builds a cache; invalid geometry panics since configs
@@ -64,10 +85,14 @@ func NewSetAssocCache(cfg CacheConfig) *SetAssocCache {
 	}
 	sets := cfg.Sets()
 	c := &SetAssocCache{
-		cfg:   cfg,
-		sets:  sets,
-		tags:  make([]uint64, sets*cfg.Ways),
-		stamp: make([]uint64, sets*cfg.Ways),
+		cfg:       cfg,
+		sets:      sets,
+		tags:      make([]uint64, sets*cfg.Ways),
+		stamp:     make([]uint64, sets*cfg.Ways),
+		mru:       make([]int32, sets),
+		lineShift: log2Exact(cfg.LineSize),
+		setShift:  log2Exact(sets),
+		setMask:   uint64(sets - 1),
 	}
 	for i := range c.tags {
 		c.tags[i] = ^uint64(0) // invalid
@@ -75,20 +100,46 @@ func NewSetAssocCache(cfg CacheConfig) *SetAssocCache {
 	return c
 }
 
+// locate decomposes addr into its set base index and tag.
+func (c *SetAssocCache) locate(addr uint64) (base int, tag uint64, set int) {
+	var line uint64
+	if c.lineShift >= 0 {
+		line = addr >> uint(c.lineShift)
+	} else {
+		line = addr / uint64(c.cfg.LineSize)
+	}
+	if c.setShift >= 0 {
+		set = int(line & c.setMask)
+		tag = line >> uint(c.setShift)
+	} else {
+		set = int(line % uint64(c.sets))
+		tag = line / uint64(c.sets)
+	}
+	return set * c.cfg.Ways, tag, set
+}
+
 // Access looks up addr, filling on miss, and reports whether it hit.
+// A most-recently-used way check runs before the full hit/victim scan:
+// hot loops re-touch the same line, so the common case is one compare.
+// A tag can occupy at most one way of a set (fills happen only on miss),
+// so the short-circuit selects the same way the scan would.
 func (c *SetAssocCache) Access(addr uint64) bool {
 	c.clock++
 	c.accesses++
-	line := addr / uint64(c.cfg.LineSize)
-	set := int(line % uint64(c.sets))
-	tag := line / uint64(c.sets)
-	base := set * c.cfg.Ways
+	base, tag, set := c.locate(addr)
 
+	if i := base + int(c.mru[set]); c.tags[i] == tag {
+		c.stamp[i] = c.clock
+		c.lastWay = i
+		return true
+	}
 	victim, oldest := base, c.stamp[base]
 	for w := 0; w < c.cfg.Ways; w++ {
 		i := base + w
 		if c.tags[i] == tag {
 			c.stamp[i] = c.clock
+			c.mru[set] = int32(w)
+			c.lastWay = i
 			return true
 		}
 		if c.stamp[i] < oldest {
@@ -98,7 +149,73 @@ func (c *SetAssocCache) Access(addr uint64) bool {
 	c.misses++
 	c.tags[victim] = tag
 	c.stamp[victim] = c.clock
+	c.mru[set] = int32(victim - base)
+	c.lastWay = victim
 	return false
+}
+
+// TouchLast repeats the most recent access n further times: it advances
+// the clock and access counter and restamps the way that access touched.
+// Because the line was just installed or re-stamped, those repeats are
+// guaranteed hits, so this is bit-identical to n more Access calls with
+// the same address — without the lookups.
+func (c *SetAssocCache) TouchLast(n int) {
+	if n <= 0 {
+		return
+	}
+	c.clock += uint64(n)
+	c.accesses += int64(n)
+	c.stamp[c.lastWay] = c.clock
+}
+
+// LineRun reports how many consecutive accesses starting at addr with the
+// given byte stride stay inside addr's cache line: at least 1, at most
+// max. Callers use it to split an access run into same-line segments.
+func (c *SetAssocCache) LineRun(addr uint64, stride int64, max int) int {
+	if max <= 1 || stride == 0 {
+		return max
+	}
+	ls := uint64(c.cfg.LineSize)
+	var off uint64
+	if c.lineShift >= 0 {
+		off = addr & (ls - 1)
+	} else {
+		off = addr % ls
+	}
+	var room uint64
+	if stride > 0 {
+		room = (ls - 1 - off) / uint64(stride)
+	} else {
+		room = off / uint64(-stride)
+	}
+	k := int(room) + 1
+	if k > max || k <= 0 {
+		return max
+	}
+	return k
+}
+
+// AccessRun performs count accesses at base, base+stride, base+2·stride, …
+// and reports how many missed. It is bit-identical to the equivalent
+// Access loop — same fills, same LRU stamps, same counters — but a run of
+// accesses inside one cache line costs a single lookup plus a bulk clock
+// advance: after the first touch the line is resident and nothing can
+// evict it mid-run, so the remaining touches are hits by construction.
+func (c *SetAssocCache) AccessRun(base uint64, stride int64, count int) int64 {
+	var misses int64
+	addr := base
+	for i := 0; i < count; {
+		k := c.LineRun(addr, stride, count-i)
+		if !c.Access(addr) {
+			misses++
+		}
+		if k > 1 {
+			c.TouchLast(k - 1)
+		}
+		addr += uint64(stride) * uint64(k)
+		i += k
+	}
+	return misses
 }
 
 // Accesses reports total lookups.
@@ -121,7 +238,10 @@ func (c *SetAssocCache) Reset() {
 		c.tags[i] = ^uint64(0)
 		c.stamp[i] = 0
 	}
-	c.clock, c.accesses, c.misses = 0, 0, 0
+	for i := range c.mru {
+		c.mru[i] = 0
+	}
+	c.clock, c.accesses, c.misses, c.lastWay = 0, 0, 0, 0
 }
 
 // MissProfile is the analytic model's output for one batch of accesses:

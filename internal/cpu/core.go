@@ -156,6 +156,11 @@ func (c Counters) L2MissRate() float64 {
 type Core struct {
 	cfg      Config
 	counters Counters
+	// cycleCarry holds the sub-cycle remainder of the last retired slice.
+	// The HPM cycle register is integral; without the carry, truncating
+	// every slice's fractional cycles drifts the register low by up to one
+	// cycle per slice over millions of slices.
+	cycleCarry float64
 }
 
 // NewCore returns a core for the configuration; an invalid configuration
@@ -184,6 +189,15 @@ func (c *Core) Execute(s Slice) Result {
 // which is why memory-bound phases lose little performance at low
 // frequency, the effect DVFS governors exploit.
 func (c *Core) ExecuteScaled(s Slice, freqScale float64) Result {
+	r, _ := c.ExecuteBatch(s, freqScale)
+	return r
+}
+
+// ExecuteBatch is ExecuteScaled for callers that also need the HPM
+// counter delta the slice produced: the delta is returned directly
+// instead of forcing a snapshot-and-subtract of the whole counter struct
+// around the call (the pattern core.Meter charges every slice with).
+func (c *Core) ExecuteBatch(s Slice, freqScale float64) (Result, Counters) {
 	accesses := s.Reads + s.Writes
 	prof := AnalyticMisses(accesses, s.Locality, s.WorkingSet, c.cfg.L1D, c.cfg.L2)
 	ifm := int64(float64(s.Instructions) / 1000 * s.ICacheMissPerKInst)
@@ -194,11 +208,18 @@ func (c *Core) ExecuteScaled(s Slice, freqScale float64) Result {
 // set-associative simulator (interpreter mode): the caller supplies actual
 // miss counts instead of a locality characterization.
 func (c *Core) ExecuteMeasured(instructions int64, prof MissProfile, ifetchMisses int64) Result {
+	r, _ := c.ExecuteMeasuredBatch(instructions, prof, ifetchMisses)
+	return r
+}
+
+// ExecuteMeasuredBatch is ExecuteMeasured returning the HPM counter delta
+// alongside the result.
+func (c *Core) ExecuteMeasuredBatch(instructions int64, prof MissProfile, ifetchMisses int64) (Result, Counters) {
 	// Interpreter access streams are dependent loads; MLP near 1.
 	return c.retireScaled(instructions, prof, ifetchMisses, 1.2, 1.0)
 }
 
-func (c *Core) retireScaled(instructions int64, prof MissProfile, ifm int64, mlp, freqScale float64) Result {
+func (c *Core) retireScaled(instructions int64, prof MissProfile, ifm int64, mlp, freqScale float64) (Result, Counters) {
 	if mlp < 1 {
 		mlp = 1
 	}
@@ -243,12 +264,21 @@ func (c *Core) retireScaled(instructions int64, prof MissProfile, ifm int64, mlp
 		DRAMAccesses: l2m,
 		IFetchMisses: ifm,
 	}
-	c.counters.Cycles += int64(cycles)
-	c.counters.Instructions += instructions
-	c.counters.L1DMisses += prof.L1Misses
-	c.counters.L2Accesses += l2acc
-	c.counters.L2Misses += l2m
-	c.counters.DRAMAccesses += l2m
-	c.counters.IFetchMisses += ifm
-	return r
+	// Retire whole cycles into the HPM register, carrying the fractional
+	// remainder into the next slice so the register tracks true elapsed
+	// cycles instead of drifting low by the truncated fraction per slice.
+	carried := cycles + c.cycleCarry
+	intCycles := int64(carried)
+	c.cycleCarry = carried - float64(intCycles)
+	delta := Counters{
+		Cycles:       intCycles,
+		Instructions: instructions,
+		L1DMisses:    prof.L1Misses,
+		L2Accesses:   l2acc,
+		L2Misses:     l2m,
+		DRAMAccesses: l2m,
+		IFetchMisses: ifm,
+	}
+	c.counters = c.counters.Add(delta)
+	return r, delta
 }

@@ -1,0 +1,105 @@
+package daq
+
+import (
+	"testing"
+	"time"
+
+	"jvmpower/internal/component"
+	"jvmpower/internal/power"
+	"jvmpower/internal/units"
+)
+
+// plainSink implements only Sink, forcing the AsBatchSink compatibility
+// shim — the per-sample delivery path.
+type plainSink struct {
+	trace []Sample
+}
+
+func (p *plainSink) Sample(s Sample) { p.trace = append(p.trace, s) }
+
+// TestBatchSinkMatchesPerSampleSink drives two identically configured
+// DAQs — one delivering to a BatchSink (TraceRecorder), one to a plain
+// Sink through the shim — with the same observation sequence, noisy
+// measurement chains included, and asserts the recorded samples agree
+// sample-for-sample.
+func TestBatchSinkMatchesPerSampleSink(t *testing.T) {
+	mk := func(sink Sink) (*DAQ, *ComponentPort) {
+		port := &ComponentPort{}
+		cfg := Config{
+			Period:     40 * time.Microsecond,
+			CPUChannel: power.NewSenseChannel(1.5, 0.025, 7),
+			MemChannel: power.NewSenseChannel(2.5, 0.05, 8),
+		}
+		d, err := New(cfg, port, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, port
+	}
+	batched := &TraceRecorder{}
+	plain := &plainSink{}
+	db, pb := mk(batched)
+	dp, pp := mk(plain)
+
+	drive := func(d *DAQ, port *ComponentPort) {
+		ids := []component.ID{component.App, component.GC, component.App, component.ClassLoader}
+		durs := []units.Duration{
+			13 * time.Microsecond,  // sub-period: no sample
+			170 * time.Microsecond, // few samples, carries a remainder
+			90 * time.Millisecond,  // thousands of samples: multiple chunks
+			555 * time.Nanosecond,
+			3 * time.Millisecond,
+			40 * time.Microsecond, // exactly one period
+		}
+		for i, dt := range durs {
+			port.Write(ids[i%len(ids)])
+			d.Observe(dt, units.Power(float64(5+i)), units.Power(float64(1+i)))
+		}
+	}
+	drive(db, pb)
+	drive(dp, pp)
+
+	if len(batched.Trace) != len(plain.trace) {
+		t.Fatalf("batch path recorded %d samples, per-sample path %d", len(batched.Trace), len(plain.trace))
+	}
+	for i := range batched.Trace {
+		if batched.Trace[i] != plain.trace[i] {
+			t.Fatalf("sample %d diverged: batch %+v vs per-sample %+v", i, batched.Trace[i], plain.trace[i])
+		}
+	}
+	if db.Samples() != dp.Samples() || db.Now() != dp.Now() {
+		t.Fatalf("DAQ state diverged: %d/%v vs %d/%v", db.Samples(), db.Now(), dp.Samples(), dp.Now())
+	}
+}
+
+// TestAsBatchSink checks the shim wraps plain sinks and passes BatchSinks
+// through untouched.
+func TestAsBatchSink(t *testing.T) {
+	rec := &TraceRecorder{}
+	if AsBatchSink(rec) != BatchSink(rec) {
+		t.Error("BatchSink was re-wrapped")
+	}
+	p := &plainSink{}
+	shim := AsBatchSink(p)
+	shim.SampleBatch([]Sample{{CPU: 1}, {CPU: 2}})
+	shim.Sample(Sample{CPU: 3})
+	if len(p.trace) != 3 || p.trace[0].CPU != 1 || p.trace[2].CPU != 3 {
+		t.Fatalf("shim delivered %+v", p.trace)
+	}
+}
+
+// TestMeasureRunMatchesMeasure asserts the sense channel's batch path is
+// bit-identical to repeated single measurements.
+func TestMeasureRunMatchesMeasure(t *testing.T) {
+	a := power.NewSenseChannel(1.5, 0.025, 42)
+	b := power.NewSenseChannel(1.5, 0.025, 42)
+	for _, truth := range []units.Power{0, 3.7, 12.25, 55} {
+		out := make([]units.Power, 100)
+		a.MeasureRun(truth, out)
+		for i, got := range out {
+			if want := b.Measure(truth); got != want {
+				t.Fatalf("truth %v sample %d: MeasureRun %v, Measure %v", truth, i, got, want)
+			}
+		}
+	}
+}

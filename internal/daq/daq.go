@@ -57,6 +57,38 @@ type Sink interface {
 	Sample(Sample)
 }
 
+// BatchSink is a Sink that can additionally consume a run of consecutive
+// samples in one call, eliminating per-sample interface dispatch on the
+// acquisition fast path. The slice passed to SampleBatch is a buffer the
+// DAQ reuses across calls: implementations must copy out anything they
+// retain past the call.
+type BatchSink interface {
+	Sink
+	SampleBatch([]Sample)
+}
+
+// AsBatchSink adapts any Sink to the batch interface: sinks that already
+// implement BatchSink are returned unchanged, others get a compatibility
+// shim that delivers batches one sample at a time.
+func AsBatchSink(s Sink) BatchSink {
+	if bs, ok := s.(BatchSink); ok {
+		return bs
+	}
+	return perSampleSink{s}
+}
+
+// perSampleSink is the compatibility shim for plain Sinks.
+type perSampleSink struct {
+	Sink
+}
+
+// SampleBatch implements BatchSink by per-sample delivery.
+func (p perSampleSink) SampleBatch(batch []Sample) {
+	for _, s := range batch {
+		p.Sink.Sample(s)
+	}
+}
+
 // Config describes a DAQ setup.
 type Config struct {
 	// Period is the sampling interval; the paper's system samples every
@@ -69,17 +101,31 @@ type Config struct {
 	MemChannel *power.SenseChannel
 }
 
+// observeBatch is the largest run of samples the DAQ materializes per
+// SampleBatch call; bounded so the buffer stays cache-resident no matter
+// how long a constant-power interval is.
+const observeBatch = 256
+
 // DAQ is the sampler.
 type DAQ struct {
 	cfg       Config
 	port      *ComponentPort
-	sink      Sink
+	sink      BatchSink
 	now       units.Duration
 	untilNext units.Duration
 	samples   int64
+
+	// Reusable batch buffers: one Observe call may emit millions of
+	// samples, delivered in observeBatch-sized runs with no per-sample
+	// dispatch or allocation.
+	buf    []Sample
+	cpuBuf []units.Power
+	memBuf []units.Power
 }
 
-// New returns a DAQ reading the given port and delivering to sink.
+// New returns a DAQ reading the given port and delivering to sink. Sinks
+// implementing BatchSink receive samples in runs; plain Sinks are adapted
+// per sample.
 func New(cfg Config, port *ComponentPort, sink Sink) (*DAQ, error) {
 	if cfg.Period <= 0 {
 		return nil, fmt.Errorf("daq: sampling period %v must be positive", cfg.Period)
@@ -87,7 +133,15 @@ func New(cfg Config, port *ComponentPort, sink Sink) (*DAQ, error) {
 	if port == nil || sink == nil {
 		return nil, fmt.Errorf("daq: port and sink are required")
 	}
-	return &DAQ{cfg: cfg, port: port, sink: sink, untilNext: cfg.Period}, nil
+	return &DAQ{
+		cfg:       cfg,
+		port:      port,
+		sink:      AsBatchSink(sink),
+		untilNext: cfg.Period,
+		buf:       make([]Sample, observeBatch),
+		cpuBuf:    make([]units.Power, observeBatch),
+		memBuf:    make([]units.Power, observeBatch),
+	}, nil
 }
 
 // Observe advances acquisition time by dt during which true processor and
@@ -95,27 +149,55 @@ func New(cfg Config, port *ComponentPort, sink Sink) (*DAQ, error) {
 // falls within dt produces one Sample through the measurement chains.
 // Power excursions shorter than the period that fall between instants are
 // lost, exactly as on the real system.
+//
+// All samples for the interval are emitted in bulk: the power is constant,
+// so the measurement chains run their quantization once per interval
+// (power.SenseChannel.MeasureRun) and the sink sees observeBatch-sized
+// runs — bit-identical to the per-sample path, without its dispatch cost.
 func (d *DAQ) Observe(dt units.Duration, cpuTrue, memTrue units.Power) {
-	for dt > 0 {
-		if dt < d.untilNext {
+	if dt < d.untilNext {
+		if dt > 0 {
 			d.now += dt
 			d.untilNext -= dt
-			return
 		}
-		d.now += d.untilNext
-		dt -= d.untilNext
-		d.untilNext = d.cfg.Period
-
-		s := Sample{Time: d.now, CPU: cpuTrue, Mem: memTrue, Component: d.port.Read()}
+		return
+	}
+	// At least one sample instant falls inside dt. The port cannot change
+	// during the interval (the VM writes it only between slices), so one
+	// read covers the whole run.
+	n := int64((dt-d.untilNext)/d.cfg.Period) + 1
+	consumed := d.untilNext + units.Duration(n-1)*d.cfg.Period
+	t := d.now + d.untilNext
+	id := d.port.Read()
+	for rem := n; rem > 0; {
+		k := rem
+		if k > observeBatch {
+			k = observeBatch
+		}
+		buf := d.buf[:k]
+		for i := range buf {
+			buf[i] = Sample{Time: t, CPU: cpuTrue, Mem: memTrue, Component: id}
+			t += d.cfg.Period
+		}
 		if d.cfg.CPUChannel != nil {
-			s.CPU = d.cfg.CPUChannel.Measure(cpuTrue)
+			d.cfg.CPUChannel.MeasureRun(cpuTrue, d.cpuBuf[:k])
+			for i := range buf {
+				buf[i].CPU = d.cpuBuf[i]
+			}
 		}
 		if d.cfg.MemChannel != nil {
-			s.Mem = d.cfg.MemChannel.Measure(memTrue)
+			d.cfg.MemChannel.MeasureRun(memTrue, d.memBuf[:k])
+			for i := range buf {
+				buf[i].Mem = d.memBuf[i]
+			}
 		}
-		d.samples++
-		d.sink.Sample(s)
+		d.samples += k
+		d.sink.SampleBatch(buf)
+		rem -= k
 	}
+	left := dt - consumed // in [0, Period)
+	d.now += dt
+	d.untilNext = d.cfg.Period - left
 }
 
 // Now reports acquisition time.
@@ -136,6 +218,10 @@ type TraceRecorder struct {
 // Sample implements Sink.
 func (t *TraceRecorder) Sample(s Sample) { t.Trace = append(t.Trace, s) }
 
+// SampleBatch implements BatchSink (the append copies the run out of the
+// DAQ's reused buffer).
+func (t *TraceRecorder) SampleBatch(batch []Sample) { t.Trace = append(t.Trace, batch...) }
+
 // MultiSink fans each sample out to several sinks (e.g. an online
 // aggregator plus a full-trace recorder).
 type MultiSink []Sink
@@ -144,5 +230,19 @@ type MultiSink []Sink
 func (m MultiSink) Sample(s Sample) {
 	for _, sink := range m {
 		sink.Sample(s)
+	}
+}
+
+// SampleBatch implements BatchSink, fanning each run out batch-wise to the
+// members that support it.
+func (m MultiSink) SampleBatch(batch []Sample) {
+	for _, sink := range m {
+		if bs, ok := sink.(BatchSink); ok {
+			bs.SampleBatch(batch)
+			continue
+		}
+		for _, s := range batch {
+			sink.Sample(s)
+		}
 	}
 }

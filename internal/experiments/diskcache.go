@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"jvmpower/internal/analysis"
+	"jvmpower/internal/core"
+	"jvmpower/internal/gc"
+)
+
+// On-disk point cache. Each completed characterization point is persisted
+// under CacheDir as one gob file named by a hash of everything that
+// determines the result: the point identity, the run seed, the quick flag,
+// and a format version. Reruns of `cmd/experiments -all` with a warm cache
+// recompute only points whose key changed; corrupt or unreadable entries
+// are treated as misses and recomputed.
+
+// diskCacheVersion invalidates all persisted entries when the cached
+// format — or the simulation's observable output — changes. Bump it in any
+// PR that changes figure numbers.
+const diskCacheVersion = 1
+
+// diskKey names the cache file for a point under the current runner
+// settings.
+func (r *Runner) diskKey(k pointKey) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s|%d|%s|%d|%s|%t|%t|seed=%d|quick=%t",
+		diskCacheVersion, k.bench, k.flavor, k.collector, k.heapMB, k.platform,
+		k.s10, k.fanOff, r.Seed, r.Quick)))
+	return fmt.Sprintf("%x.point", h[:12])
+}
+
+// cachedPoint is the serializable subset of core.Result: everything the
+// figures reached through Run consume. The Meter (ground-truth ledger and
+// thermal state) is not persisted, so loaded results carry a nil Meter;
+// the ablation figures, which need ground truth, characterize directly
+// and never see cached results.
+type cachedPoint struct {
+	Decomposition analysis.Decomposition
+	GCStats       gc.Stats
+	LoadedClasses int
+}
+
+// loadPoint returns the persisted result for k, if the disk cache is
+// enabled and holds a readable entry.
+func (r *Runner) loadPoint(k pointKey) (*core.Result, bool) {
+	if r.CacheDir == "" {
+		return nil, false
+	}
+	f, err := os.Open(filepath.Join(r.CacheDir, r.diskKey(k)))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var c cachedPoint
+	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+		return nil, false
+	}
+	return &core.Result{
+		Decomposition: c.Decomposition,
+		GCStats:       c.GCStats,
+		LoadedClasses: c.LoadedClasses,
+	}, true
+}
+
+// storePoint persists a completed point. Failures are silent: the disk
+// cache is an accelerator, never a correctness dependency. The write goes
+// through a temp file + rename so a crash cannot leave a torn entry, and
+// singleflight guarantees at most one writer per key per process.
+func (r *Runner) storePoint(k pointKey, res *core.Result) {
+	if r.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.CacheDir, 0o755); err != nil {
+		return
+	}
+	path := filepath.Join(r.CacheDir, r.diskKey(k))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	c := cachedPoint{
+		Decomposition: res.Decomposition,
+		GCStats:       res.GCStats,
+		LoadedClasses: res.LoadedClasses,
+	}
+	if err := gob.NewEncoder(f).Encode(&c); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	_ = os.Rename(tmp, path)
+}

@@ -34,14 +34,30 @@ type Runner struct {
 	Quick bool
 	// Seed drives every run's determinism.
 	Seed uint64
+	// CacheDir, when non-empty, persists completed points to disk, keyed
+	// by a hash of the point identity plus seed and quick flag, so a rerun
+	// recomputes only invalidated points. Loaded results carry a nil
+	// Meter (ground truth is not persisted); every figure reached through
+	// Run consumes only the decomposition and GC statistics.
+	CacheDir string
 
 	mu    sync.Mutex
-	cache map[pointKey]*core.Result
+	cache map[pointKey]*flight
+}
+
+// flight is one singleflight cache entry: the first Run for a key owns the
+// computation; later Runs for the same key — concurrent or not — wait on
+// ready and share the outcome, so parallel workers never duplicate an
+// in-flight point.
+type flight struct {
+	ready chan struct{} // closed when res/err are set
+	res   *core.Result
+	err   error
 }
 
 // NewRunner returns a Runner writing to out.
 func NewRunner(out io.Writer) *Runner {
-	return &Runner{Out: out, Seed: 1, cache: make(map[pointKey]*core.Result)}
+	return &Runner{Out: out, Seed: 1, cache: make(map[pointKey]*flight)}
 }
 
 type pointKey struct {
@@ -72,16 +88,34 @@ func (p Point) key() pointKey {
 	}
 }
 
-// Run executes (or returns the cached result of) one point.
+// Run executes (or returns the cached result of) one point. Concurrent
+// calls for the same point coalesce onto one computation (singleflight);
+// errors are cached too — every run is deterministic, so retrying a
+// failed point would fail identically.
 func (r *Runner) Run(p Point) (*core.Result, error) {
 	k := p.key()
 	r.mu.Lock()
-	if res, ok := r.cache[k]; ok {
+	if f, ok := r.cache[k]; ok {
 		r.mu.Unlock()
-		return res, nil
+		<-f.ready
+		return f.res, f.err
 	}
+	f := &flight{ready: make(chan struct{})}
+	r.cache[k] = f
 	r.mu.Unlock()
 
+	f.res, f.err = r.compute(p, k)
+	close(f.ready)
+	return f.res, f.err
+}
+
+// compute produces one point's result: from the on-disk cache when
+// enabled and populated, otherwise by running the characterization (and
+// persisting it for next time).
+func (r *Runner) compute(p Point, k pointKey) (*core.Result, error) {
+	if res, ok := r.loadPoint(k); ok {
+		return res, nil
+	}
 	profile := p.Bench.Profile
 	if p.S10 {
 		profile = workloads.S10Profile(p.Bench)
@@ -105,14 +139,13 @@ func (r *Runner) Run(p Point) (*core.Result, error) {
 		return nil, fmt.Errorf("experiments: %s/%s/%s/%dMB on %s: %w",
 			p.Bench.Name, p.Flavor, p.Collector, p.HeapMB, p.Platform.Name, err)
 	}
-	r.mu.Lock()
-	r.cache[k] = &res
-	r.mu.Unlock()
+	r.storePoint(k, &res)
 	return &res, nil
 }
 
 // RunAll executes points in parallel (results cached as they finish) and
-// returns the first error encountered, if any.
+// returns the first error encountered. Dispatch stops at the first error:
+// in-flight points finish, but no new ones start.
 func (r *Runner) RunAll(points []Point) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(points) {
@@ -122,7 +155,9 @@ func (r *Runner) RunAll(points []Point) error {
 		workers = 1
 	}
 	jobs := make(chan Point)
-	errs := make(chan error, len(points))
+	done := make(chan struct{})
+	var failOnce sync.Once
+	var firstErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -130,23 +165,24 @@ func (r *Runner) RunAll(points []Point) error {
 			defer wg.Done()
 			for p := range jobs {
 				if _, err := r.Run(p); err != nil {
-					errs <- err
+					failOnce.Do(func() {
+						firstErr = err
+						close(done)
+					})
 				}
 			}
 		}()
 	}
+dispatch:
 	for _, p := range points {
-		jobs <- p
+		select {
+		case jobs <- p:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	close(errs)
-	var firstErr error
-	for err := range errs {
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
 	return firstErr
 }
 

@@ -13,8 +13,6 @@
 package heap
 
 import (
-	"fmt"
-
 	"jvmpower/internal/classfile"
 	"jvmpower/internal/units"
 )
@@ -46,6 +44,25 @@ const (
 	FlagScanned uint8 = 1 << 5 // scratch bit for verification passes
 )
 
+// inlineRefs is the number of outgoing references stored inside the Object
+// itself. Most simulated objects carry only a few reference fields, so the
+// inline store removes the per-object []Ref allocation that otherwise
+// dominates experiment-scale runs; larger objects spill to the heap's ref
+// arena.
+const inlineRefs = 4
+
+// Object table chunking: objects live in fixed-size chunks so the table
+// never relocates (growth appends a chunk instead of copying the table),
+// keeping *Object pointers stable and letting Refs alias inline storage.
+const (
+	chunkShift = 14 // 16384 objects per chunk
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+// refArenaChunk is the ref-arena block size in Refs (64 KB blocks).
+const refArenaChunk = 16384
+
 // Object is one heap object. Objects live in the heap's table; a Ref is an
 // index into it.
 type Object struct {
@@ -55,15 +72,25 @@ type Object struct {
 	Class classfile.ClassID
 	Size  uint32 // total heap footprint in bytes, header included
 	Addr  uint64 // simulated address; changes when a copying collector moves it
-	Fwd   Ref    // forwarding pointer during copying collections
 	Refs  []Ref  // outgoing references (ref fields, or elements of a ref array)
 	Ints  []int32
+
+	// inline backs Refs for objects with at most inlineRefs references.
+	// Objects must not be copied by value (Refs would alias the source's
+	// inline store); they are only ever reached as *Object via Get.
+	inline [inlineRefs]Ref
 }
 
 // Heap owns the object table. Collectors and the VM share one Heap.
 type Heap struct {
-	objects []Object
-	free    []Ref // recycled object-table slots
+	chunks [][]Object
+	n      int   // table length (slot 0 reserved for Null)
+	free   []Ref // recycled object-table slots
+
+	// refArena bump-allocates spill []Ref storage for objects with more
+	// than inlineRefs references. Blocks are never recycled within a run;
+	// total spill volume is bounded by cumulative allocation.
+	refArena []Ref
 
 	liveCount int64
 	liveBytes units.ByteSize
@@ -75,7 +102,23 @@ type Heap struct {
 
 // New returns an empty heap.
 func New() *Heap {
-	return &Heap{objects: make([]Object, 1)} // slot 0 reserved for Null
+	h := &Heap{n: 1} // slot 0 reserved for Null
+	h.chunks = append(h.chunks, make([]Object, chunkSize))
+	return h
+}
+
+// spillRefs allocates a zeroed n-ref slice from the arena.
+func (h *Heap) spillRefs(n int) []Ref {
+	if len(h.refArena) < n {
+		size := refArenaChunk
+		if size < n {
+			size = n
+		}
+		h.refArena = make([]Ref, size)
+	}
+	s := h.refArena[:n:n]
+	h.refArena = h.refArena[n:]
+	return s
 }
 
 // NewObject creates an object in the table with the given shape and
@@ -87,19 +130,19 @@ func (h *Heap) NewObject(kind Kind, class classfile.ClassID, size uint32, nrefs 
 		r = h.free[n-1]
 		h.free = h.free[:n-1]
 	} else {
-		h.objects = append(h.objects, Object{})
-		r = Ref(len(h.objects) - 1)
+		if h.n>>chunkShift == len(h.chunks) {
+			h.chunks = append(h.chunks, make([]Object, chunkSize))
+		}
+		r = Ref(h.n)
+		h.n++
 	}
-	o := &h.objects[r]
+	o := &h.chunks[r>>chunkShift][r&chunkMask]
 	*o = Object{Kind: kind, Class: class, Size: size, Addr: addr}
 	if nrefs > 0 {
-		if cap(o.Refs) >= nrefs {
-			o.Refs = o.Refs[:nrefs]
-			for i := range o.Refs {
-				o.Refs[i] = Null
-			}
+		if nrefs <= inlineRefs {
+			o.Refs = o.inline[:nrefs] // zeroed by the overwrite above
 		} else {
-			o.Refs = make([]Ref, nrefs)
+			o.Refs = h.spillRefs(nrefs)
 		}
 	}
 	h.liveCount++
@@ -109,24 +152,31 @@ func (h *Heap) NewObject(kind Kind, class classfile.ClassID, size uint32, nrefs 
 	return r
 }
 
-// Get returns the object for r. Dereferencing Null panics: the interpreter
-// raises its own NullPointerException before calling Get, so reaching this
-// is a VM bug.
+// Get returns the object for r. Dereferencing Null or an out-of-table ref
+// panics: the interpreter raises its own NullPointerException before
+// calling Get, so reaching this is a VM bug. The check is a single
+// unsigned compare (r == Null wraps to MaxUint64; r >= n iff r-1 >= n-1,
+// n always >= 1) and the panic takes a constant string, keeping Get cheap
+// enough to inline into the collectors' and the VM's hot loops.
 func (h *Heap) Get(r Ref) *Object {
-	if r == Null || int(r) >= len(h.objects) {
-		panic(fmt.Sprintf("heap: invalid dereference of ref %d (table size %d)", r, len(h.objects)))
+	if uint64(r)-1 >= uint64(h.n)-1 {
+		panic("heap: invalid dereference (null or out-of-table ref)")
 	}
-	return &h.objects[r]
+	return &h.chunks[r>>chunkShift][r&chunkMask]
 }
 
 // Free releases an object's table slot. Only collectors call this, for
-// objects they have determined unreachable.
+// objects they have determined unreachable. Only the fields a freed slot is
+// ever inspected through (Size == 0 marks it free) and the GC-visible
+// pointers are cleared; NewObject fully reinitializes the slot on reuse.
 func (h *Heap) Free(r Ref) {
 	o := h.Get(r)
 	h.liveCount--
 	h.liveBytes -= units.ByteSize(o.Size)
-	refs := o.Refs[:0]
-	*o = Object{Refs: refs} // keep capacity for slot reuse
+	o.Size = 0
+	o.Flags = 0
+	o.Refs = nil
+	o.Ints = nil
 	h.free = append(h.free, r)
 }
 
@@ -143,14 +193,15 @@ func (h *Heap) AllocCount() int64 { return h.allocCount }
 func (h *Heap) AllocBytes() units.ByteSize { return h.allocBytes }
 
 // TableLen reports the current object-table length (diagnostics/tests).
-func (h *Heap) TableLen() int { return len(h.objects) }
+func (h *Heap) TableLen() int { return h.n }
 
 // ForEach calls fn for every live object. The callback must not allocate or
 // free heap objects.
 func (h *Heap) ForEach(fn func(Ref, *Object)) {
-	for i := 1; i < len(h.objects); i++ {
-		if h.objects[i].Size != 0 {
-			fn(Ref(i), &h.objects[i])
+	for i := 1; i < h.n; i++ {
+		o := &h.chunks[i>>chunkShift][i&chunkMask]
+		if o.Size != 0 {
+			fn(Ref(i), o)
 		}
 	}
 }

@@ -89,6 +89,35 @@ func (s *SenseChannel) Measure(truePower units.Power) units.Power {
 	return units.Power(p)
 }
 
+// MeasureRun measures len(out) consecutive samples of the same constant
+// true power, bit-identical to calling Measure once per sample: the
+// resistor/ADC chain is deterministic for a fixed input, so its quantized
+// reconstruction is computed once and only the per-sample dither advances
+// the channel's noise state. This is the batch fast path the DAQ uses —
+// it hoists the per-sample chain setup out of the sampling loop.
+func (s *SenseChannel) MeasureRun(truePower units.Power, out []units.Power) {
+	if truePower < 0 {
+		truePower = 0
+	}
+	current := float64(truePower) / s.RailVolts
+	drop := current * s.ResistorOhms * (1 + s.ResistorTolerance) * (1 + s.GainError)
+	lsb := s.ADCFullScaleVolts / float64(int64(1)<<s.ADCBits)
+	if drop > s.ADCFullScaleVolts {
+		drop = s.ADCFullScaleVolts
+	}
+	quantized := float64(int64(drop/lsb+0.5)) * lsb
+	measuredI := quantized / s.ResistorOhms
+	base := measuredI * s.RailVolts
+	noise := s.NoiseFloorWatts
+	for i := range out {
+		p := base + noise*(s.next01()-0.5)
+		if p < 0 {
+			p = 0
+		}
+		out[i] = units.Power(p)
+	}
+}
+
 func (s *SenseChannel) next01() float64 {
 	s.n++
 	x := s.seed + s.n*0x9E3779B97F4A7C15

@@ -81,6 +81,15 @@ type interp struct {
 	ifm    int64
 	warmed map[classfile.MethodID]bool
 
+	// Pending strided access run, not yet applied to the caches. The
+	// interpreter's array/field loops produce long arithmetic address
+	// sequences; deferring them lets same-line segments go through the
+	// caches' bulk path instead of one lookup per access.
+	runBase   uint64
+	runStride int64
+	runCount  int
+	runLast   uint64
+
 	stats    InterpStats
 	maxSteps int64
 }
@@ -137,19 +146,57 @@ func (it *interp) rootCount() int {
 	return n
 }
 
-// access simulates one data-memory access through the cache hierarchy.
+// access records one data-memory access. Consecutive accesses forming an
+// arithmetic address sequence (array walks, field scans) are buffered as a
+// run and applied to the caches in bulk when the pattern breaks; the
+// caches see the exact same address sequence in the exact same order, so
+// fills, stamps, and counters are bit-identical to immediate simulation.
 func (it *interp) access(addr uint64) {
-	if it.l1d.Access(addr) {
-		return
+	if it.runCount > 0 {
+		if it.runCount == 1 {
+			it.runStride = int64(addr - it.runBase)
+			it.runCount, it.runLast = 2, addr
+			return
+		}
+		if int64(addr-it.runLast) == it.runStride {
+			it.runCount++
+			it.runLast = addr
+			return
+		}
+		it.drainRun()
 	}
-	it.l1dm++
-	if it.l2 == nil || !it.l2.Access(addr) {
-		it.l2m++
+	it.runBase, it.runStride, it.runCount, it.runLast = addr, 0, 1, addr
+}
+
+// drainRun pushes the pending access run through the cache hierarchy,
+// one L1-line segment at a time: the segment's first access does a real
+// lookup (and probes L2 on miss); the rest of the segment is guaranteed
+// hits on the just-touched line, applied via the caches' bulk path.
+func (it *interp) drainRun() {
+	base, stride, count := it.runBase, it.runStride, it.runCount
+	it.runCount = 0
+	addr := base
+	for i := 0; i < count; {
+		k := it.l1d.LineRun(addr, stride, count-i)
+		if !it.l1d.Access(addr) {
+			it.l1dm++
+			if it.l2 == nil || !it.l2.Access(addr) {
+				it.l2m++
+			}
+		}
+		if k > 1 {
+			it.l1d.TouchLast(k - 1)
+		}
+		addr += uint64(stride) * uint64(k)
+		i += k
 	}
 }
 
 // flush emits accumulated application work as a measured slice.
 func (it *interp) flush() {
+	if it.runCount > 0 {
+		it.drainRun()
+	}
 	if it.instr < 1 {
 		return
 	}
