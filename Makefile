@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-overhead
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # race exercises the concurrent experiment dispatcher (RunAll workers,
-# singleflight coalescing) under the race detector.
+# singleflight coalescing) and the metrics registry's atomic instruments
+# under the race detector.
 race:
-	$(GO) test -race ./internal/experiments/...
+	$(GO) test -race ./internal/experiments/... ./internal/metrics/...
 
 # check is the tier-1 gate: everything must pass before a change lands.
 check: build vet test race
@@ -22,3 +23,8 @@ check: build vet test race
 # bench regenerates BENCH_1.json from the headline figure benchmarks.
 bench:
 	./bench.sh
+
+# bench-overhead regenerates BENCH_2.json: the observability layer's cost
+# on the Fig. 7 hot path (instrumented vs bare; budget <1%).
+bench-overhead:
+	./bench.sh BENCH_2.json overhead

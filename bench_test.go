@@ -17,6 +17,7 @@ import (
 	"jvmpower/internal/experiments"
 	"jvmpower/internal/gc"
 	"jvmpower/internal/heap"
+	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/units"
 	"jvmpower/internal/vm"
@@ -65,6 +66,44 @@ func BenchmarkFig10KaffeEDP(b *testing.B) { benchFigure(b, "fig10") }
 
 // BenchmarkFig11Embedded regenerates Figure 11: Kaffe on the PXA255.
 func BenchmarkFig11Embedded(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkFig7EDPInstrumented regenerates Figure 7 with the full
+// observability layer enabled — metrics registry wired through the
+// dispatcher, core, and DAQ, plus a JSONL journal event per point — so the
+// delta against BenchmarkFig7EDP bounds the instrumentation overhead on
+// the pipeline's hottest path (the question the RAPL-overhead literature
+// asks of software power meters, turned on ourselves). bench.sh's overhead
+// mode records both in BENCH_2.json; the budget is <1%.
+func BenchmarkFig7EDPInstrumented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(io.Discard)
+		r.Quick = true
+		r.Metrics = metrics.NewRegistry()
+		r.Journal = metrics.NewJournal(io.Discard)
+		if err := r.RunFigure("fig7"); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Journal.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if r.Metrics.Counter("experiments.points.completed").Value() == 0 {
+			b.Fatal("instrumented run observed no points")
+		}
+	}
+}
+
+// BenchmarkMetricsCounter prices the single-instrument fast path: one
+// atomic add, the unit cost every instrumented event pays.
+func BenchmarkMetricsCounter(b *testing.B) {
+	c := metrics.NewRegistry().Counter("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}
 
 // BenchmarkCharacterizeJavac measures one full characterization run (the
 // unit of every figure): _213_javac, Jikes + GenCopy, 64 MB, P6.

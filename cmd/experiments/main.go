@@ -11,11 +11,17 @@
 //	experiments -fig fig6 -quick
 //	experiments -all -cache .points   # persist points; reruns are instant
 //	experiments -fig fig7 -cpuprofile cpu.pprof
+//	experiments -all -metrics m.json -journal j.jsonl
+//	experiments -all -http localhost:6060   # live /metrics + /debug/pprof
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	hpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -23,38 +29,108 @@ import (
 	"time"
 
 	"jvmpower/internal/experiments"
+	"jvmpower/internal/metrics"
 )
 
+// main delegates to run so that every deferred cleanup — CPU/heap profile
+// flushes, the metrics snapshot, the journal close — executes on all exit
+// paths. The old layout called os.Exit(1) directly on a figure error,
+// which skipped the deferred pprof.StopCPUProfile and truncated the
+// profile exactly when a failing run most needed it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		fig        = flag.String("fig", "", "figure to regenerate: "+strings.Join(experiments.FigureNames(), ", "))
-		all        = flag.Bool("all", false, "regenerate every figure")
-		quick      = flag.Bool("quick", false, "scaled-down workloads and thinned sweeps")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		cacheDir   = flag.String("cache", "", "directory for the on-disk point cache (empty = disabled)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		fig         = flag.String("fig", "", "figure to regenerate: "+strings.Join(experiments.FigureNames(), ", "))
+		all         = flag.Bool("all", false, "regenerate every figure")
+		quick       = flag.Bool("quick", false, "scaled-down workloads and thinned sweeps")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		cacheDir    = flag.String("cache", "", "directory for the on-disk point cache (empty = disabled)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		metricsFile = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		journalFile = flag.String("journal", "", "append one JSONL event per characterization point to this file")
+		httpAddr    = flag.String("http", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *memprofile != "" {
+		// Deferred (not run after the figures) so the heap profile is
+		// written even when a figure errors out.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
+	reg := metrics.NewRegistry()
 	r := experiments.NewRunner(os.Stdout)
 	r.Quick = *quick
 	r.Seed = *seed
 	r.CacheDir = *cacheDir
+	r.Metrics = reg
+
+	if *metricsFile != "" {
+		defer func() {
+			if err := reg.WriteFile(*metricsFile); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: metrics snapshot:", err)
+			}
+		}()
+	}
+	if *journalFile != "" {
+		j, err := metrics.OpenJournal(*journalFile)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: journal:", err)
+			}
+		}()
+		r.Journal = j
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fail(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", hpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", hpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", hpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", hpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", hpprof.Trace)
+		fmt.Fprintf(os.Stderr, "experiments: introspection at http://%s/metrics and /debug/pprof\n", ln.Addr())
+		go func() { _ = http.Serve(ln, mux) }()
+	}
 
 	start := time.Now()
 	var err error
@@ -65,25 +141,11 @@ func main() {
 		err = r.RunFigure(*fig)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
-
-	if *memprofile != "" {
-		f, ferr := os.Create(*memprofile)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", ferr)
-			os.Exit(1)
-		}
-		defer f.Close()
-		runtime.GC() // materialize up-to-date allocation statistics
-		if perr := pprof.WriteHeapProfile(f); perr != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", perr)
-			os.Exit(1)
-		}
-	}
+	return 0
 }

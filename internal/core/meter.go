@@ -20,6 +20,7 @@ import (
 	"jvmpower/internal/cpu"
 	"jvmpower/internal/daq"
 	"jvmpower/internal/hpm"
+	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/power"
 	"jvmpower/internal/thermal"
@@ -43,6 +44,9 @@ type MeterOptions struct {
 	// point). Nil runs everything at nominal frequency. This implements
 	// the paper's Section VII direction: leveraging DVFS for energy.
 	DVFSPolicy func(component.ID) float64
+	// Metrics, when non-nil, receives pipeline instrumentation (DAQ sample
+	// and batch counters); nil disables it at no cost beyond a nil check.
+	Metrics *metrics.Registry
 }
 
 // DefaultMeterOptions returns options with the fan on and a fixed seed.
@@ -99,7 +103,7 @@ func NewMeter(plat platform.Platform, opts MeterOptions) (*Meter, error) {
 		return nil, fmt.Errorf("core: MeterOptions.Sink is required")
 	}
 	port := &daq.ComponentPort{}
-	cfg := daq.Config{Period: plat.DAQPeriod}
+	cfg := daq.Config{Period: plat.DAQPeriod, Metrics: opts.Metrics}
 	if !opts.IdealChannels {
 		cfg.CPUChannel = power.NewSenseChannel(plat.CPURailVolts, plat.CPUSenseOhms, opts.Seed)
 		cfg.MemChannel = power.NewSenseChannel(plat.MemRailVolts, plat.MemSenseOhms, opts.Seed+1)

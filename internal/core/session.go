@@ -8,6 +8,7 @@ import (
 	"jvmpower/internal/component"
 	"jvmpower/internal/daq"
 	"jvmpower/internal/gc"
+	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/vm"
 )
@@ -31,6 +32,10 @@ type RunConfig struct {
 	// TraceSink, when set, additionally receives every DAQ sample (e.g. a
 	// daq.TraceRecorder for export via internal/trace).
 	TraceSink daq.Sink
+	// Metrics, when non-nil, instruments the run: "core.characterize.runs"
+	// plus the DAQ's acquisition counters. Instrumentation never touches
+	// figure output — runs are byte-identical with it on or off.
+	Metrics *metrics.Registry
 }
 
 // Result bundles the decomposition with the meter (ground truth, thermal
@@ -60,12 +65,14 @@ func Characterize(cfg RunConfig) (Result, error) {
 	if cfg.TraceSink != nil {
 		sink = daq.MultiSink{agg, cfg.TraceSink}
 	}
+	cfg.Metrics.Counter("core.characterize.runs").Inc()
 	opts := MeterOptions{
 		Sink:          sink,
 		IdealChannels: cfg.IdealChannels,
 		FanOn:         cfg.FanOn,
 		Seed:          cfg.VM.Seed,
 		DVFSPolicy:    cfg.DVFSPolicy,
+		Metrics:       cfg.Metrics,
 	}
 	meter, err := NewMeter(cfg.Platform, opts)
 	if err != nil {

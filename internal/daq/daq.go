@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"jvmpower/internal/component"
+	"jvmpower/internal/metrics"
 	"jvmpower/internal/power"
 	"jvmpower/internal/units"
 )
@@ -99,6 +100,10 @@ type Config struct {
 	// isolate sampling error from measurement noise).
 	CPUChannel *power.SenseChannel
 	MemChannel *power.SenseChannel
+	// Metrics, when non-nil, receives acquisition counters ("daq.samples",
+	// "daq.batches"). Counters are updated once per emitted batch — never
+	// per sample — so the fast path pays one atomic add per ≤256 samples.
+	Metrics *metrics.Registry
 }
 
 // observeBatch is the largest run of samples the DAQ materializes per
@@ -121,6 +126,11 @@ type DAQ struct {
 	buf    []Sample
 	cpuBuf []units.Power
 	memBuf []units.Power
+
+	// Instrumentation counters, resolved once at construction (nil and
+	// no-op when Config.Metrics is nil).
+	samplesC *metrics.Counter
+	batchesC *metrics.Counter
 }
 
 // New returns a DAQ reading the given port and delivering to sink. Sinks
@@ -141,6 +151,8 @@ func New(cfg Config, port *ComponentPort, sink Sink) (*DAQ, error) {
 		buf:       make([]Sample, observeBatch),
 		cpuBuf:    make([]units.Power, observeBatch),
 		memBuf:    make([]units.Power, observeBatch),
+		samplesC:  cfg.Metrics.Counter("daq.samples"),
+		batchesC:  cfg.Metrics.Counter("daq.batches"),
 	}, nil
 }
 
@@ -192,6 +204,8 @@ func (d *DAQ) Observe(dt units.Duration, cpuTrue, memTrue units.Power) {
 			}
 		}
 		d.samples += k
+		d.samplesC.Add(k)
+		d.batchesC.Inc()
 		d.sink.SampleBatch(buf)
 		rem -= k
 	}

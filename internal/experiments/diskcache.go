@@ -68,8 +68,12 @@ func (r *Runner) loadPoint(k pointKey) (*core.Result, bool) {
 
 // storePoint persists a completed point. Failures are silent: the disk
 // cache is an accelerator, never a correctness dependency. The write goes
-// through a temp file + rename so a crash cannot leave a torn entry, and
-// singleflight guarantees at most one writer per key per process.
+// through a unique temp file + rename: a crash cannot leave a torn entry,
+// and concurrent writers of the same key — singleflight bounds those to
+// one per process, but nothing stops two `experiments -cache DIR`
+// processes sharing a cache directory — cannot interleave into each
+// other's temp file (a fixed ".tmp" suffix raced exactly that way; both
+// writers produce the same bytes, but an interleaved write is corrupt).
 func (r *Runner) storePoint(k pointKey, res *core.Result) {
 	if r.CacheDir == "" {
 		return
@@ -78,11 +82,11 @@ func (r *Runner) storePoint(k pointKey, res *core.Result) {
 		return
 	}
 	path := filepath.Join(r.CacheDir, r.diskKey(k))
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(r.CacheDir, r.diskKey(k)+".*.tmp")
 	if err != nil {
 		return
 	}
+	tmp := f.Name()
 	c := cachedPoint{
 		Decomposition: res.Decomposition,
 		GCStats:       res.GCStats,

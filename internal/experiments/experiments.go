@@ -18,8 +18,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"jvmpower/internal/core"
+	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/units"
 	"jvmpower/internal/vm"
@@ -40,6 +42,12 @@ type Runner struct {
 	// Meter (ground truth is not persisted); every figure reached through
 	// Run consumes only the decomposition and GC statistics.
 	CacheDir string
+	// Metrics, when non-nil, instruments the pipeline (see observe.go for
+	// the schema). Journal, when non-nil, receives one PointEvent per
+	// completed point. Neither touches figure output: runs are
+	// byte-identical with instrumentation on or off.
+	Metrics *metrics.Registry
+	Journal *metrics.Journal
 
 	mu    sync.Mutex
 	cache map[pointKey]*flight
@@ -97,25 +105,33 @@ func (r *Runner) Run(p Point) (*core.Result, error) {
 	r.mu.Lock()
 	if f, ok := r.cache[k]; ok {
 		r.mu.Unlock()
+		r.Metrics.Counter("experiments.singleflight.hits").Inc()
 		<-f.ready
 		return f.res, f.err
 	}
 	f := &flight{ready: make(chan struct{})}
 	r.cache[k] = f
 	r.mu.Unlock()
+	r.Metrics.Counter("experiments.singleflight.misses").Inc()
 
-	f.res, f.err = r.compute(p, k)
-	close(f.ready)
+	// The flight owner must close ready on every path: an escaping panic
+	// would otherwise strand every waiter (and any later Run for this key)
+	// on an unclosed channel forever. The close is deferred, and runPoint
+	// additionally recovers panics into the cached error so waiters get a
+	// diagnosis instead of a hang.
+	defer close(f.ready)
+	f.res, f.err = r.runPoint(p, k)
 	return f.res, f.err
 }
 
-// compute produces one point's result: from the on-disk cache when
-// enabled and populated, otherwise by running the characterization (and
-// persisting it for next time).
+// characterize indirects core.Characterize so tests can inject failure
+// modes; the singleflight regression test substitutes an implementation
+// that panics mid-point.
+var characterize = core.Characterize
+
+// compute runs the characterization for one point and persists it to the
+// disk cache for next time.
 func (r *Runner) compute(p Point, k pointKey) (*core.Result, error) {
-	if res, ok := r.loadPoint(k); ok {
-		return res, nil
-	}
 	profile := p.Bench.Profile
 	if p.S10 {
 		profile = workloads.S10Profile(p.Bench)
@@ -123,7 +139,7 @@ func (r *Runner) compute(p Point, k pointKey) (*core.Result, error) {
 	if r.Quick {
 		profile = profile.Scale(0.25)
 	}
-	res, err := core.Characterize(core.RunConfig{
+	res, err := characterize(core.RunConfig{
 		Platform: p.Platform,
 		VM: vm.Config{
 			Flavor:    p.Flavor,
@@ -134,6 +150,7 @@ func (r *Runner) compute(p Point, k pointKey) (*core.Result, error) {
 		Program: p.Bench.Program(),
 		Profile: profile,
 		FanOn:   !p.FanOff,
+		Metrics: r.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s/%s/%dMB on %s: %w",
@@ -159,12 +176,23 @@ func (r *Runner) RunAll(points []Point) error {
 	var failOnce sync.Once
 	var firstErr error
 	var wg sync.WaitGroup
+	// Worker-utilization instruments, hoisted out of the dispatch loop
+	// (nil and free when Metrics is nil): utilization over a RunAll is
+	// busy_ns / (wall_seconds × workers.count).
+	activeG := r.Metrics.Gauge("experiments.workers.active")
+	busyC := r.Metrics.Counter("experiments.workers.busy_ns")
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for p := range jobs {
-				if _, err := r.Run(p); err != nil {
+				activeG.Add(1)
+				t0 := time.Now()
+				_, err := r.Run(p)
+				busyC.Add(int64(time.Since(t0)))
+				activeG.Add(-1)
+				if err != nil {
 					failOnce.Do(func() {
 						firstErr = err
 						close(done)
@@ -183,6 +211,9 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+	r.Metrics.Counter("experiments.runall.calls").Inc()
+	r.Metrics.Gauge("experiments.workers.count").Set(float64(workers))
+	r.Metrics.Gauge("experiments.runall.wall_seconds").Add(time.Since(start).Seconds())
 	return firstErr
 }
 
@@ -291,20 +322,35 @@ var figures = map[string]func(*Runner) error{
 	"dwell":      (*Runner).Dwell,
 }
 
+// figureOrder lists every figure in presentation (paper) order. It is the
+// single source RunEverything iterates, declared next to the figures map;
+// TestFigureOrderMatchesRegistry asserts the two stay identical, so a
+// figure added to the map but not here fails fast instead of being
+// silently skipped by `-all`.
+var figureOrder = []string{
+	"fig1", "fig5", "fig6", "fig7", "fig8", "mem", "fig9", "fig10", "fig11",
+	"ablation-sampling", "ablation-mlp", "dvfs", "thermal-gc", "hpm-power", "dwell",
+}
+
 // RunFigure regenerates one figure by identifier ("fig1".."fig11", "mem").
 func (r *Runner) RunFigure(name string) error {
 	fn, ok := figures[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown figure %q (have %v)", name, FigureNames())
 	}
-	return fn(r)
+	start := time.Now()
+	err := fn(r)
+	r.Metrics.Gauge("experiments.figure."+name+".seconds").Set(time.Since(start).Seconds())
+	r.Metrics.Counter("experiments.figures.run").Inc()
+	if err != nil {
+		r.Metrics.Counter("experiments.figures.errors").Inc()
+	}
+	return err
 }
 
 // RunEverything regenerates all figures in paper order.
 func (r *Runner) RunEverything() error {
-	order := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "mem", "fig9", "fig10", "fig11",
-		"ablation-sampling", "ablation-mlp", "dvfs", "thermal-gc", "hpm-power", "dwell"}
-	for _, n := range order {
+	for _, n := range figureOrder {
 		if err := r.RunFigure(n); err != nil {
 			return err
 		}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jvmpower/internal/core"
+)
+
+// Observability of the characterization pipeline itself. A long `-all` run
+// executes hundreds of points across parallel workers; when one stalls or
+// fails there must be a record of which. Two channels, both optional and
+// both invisible to figure output:
+//
+//   - Runner.Metrics: counters/gauges/histograms (schema below), exported
+//     as JSON by `cmd/experiments -metrics FILE` and served live by
+//     `-http ADDR`.
+//   - Runner.Journal: one JSONL PointEvent per completed point.
+//
+// Metrics schema (all under the experiments.* prefix; the DAQ and core
+// layers add daq.samples, daq.batches, core.characterize.runs):
+//
+//	singleflight.hits / singleflight.misses   counter  Run calls joining an
+//	                                                   existing flight vs
+//	                                                   owning a new one
+//	diskcache.hits / diskcache.misses         counter  persistent-cache
+//	                                                   split (misses only
+//	                                                   counted when -cache
+//	                                                   is enabled)
+//	points.completed / points.errors          counter  unique points
+//	point.seconds                             histogram point latency
+//	workers.active                            gauge    live worker count
+//	workers.count                             gauge    RunAll pool size
+//	workers.busy_ns                           counter  summed point time;
+//	                                                   utilization =
+//	                                                   busy_ns/(wall×count)
+//	runall.calls / runall.wall_seconds        counter/gauge
+//	figures.run / figures.errors              counter
+//	figure.<name>.seconds                     gauge    per-figure wall time
+
+// PointEvent is one run-journal record: the point's identity, where its
+// result came from, how long it took, and how it ended.
+type PointEvent struct {
+	Bench      string  `json:"bench"`
+	Flavor     string  `json:"flavor"`
+	Collector  string  `json:"collector,omitempty"`
+	HeapMB     int     `json:"heap_mb"`
+	Platform   string  `json:"platform"`
+	S10        bool    `json:"s10,omitempty"`
+	FanOff     bool    `json:"fan_off,omitempty"`
+	Outcome    string  `json:"outcome"` // "ok" or "error"
+	Source     string  `json:"source"`  // "computed" or "disk"
+	DurationMS float64 `json:"duration_ms"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// runPoint produces one point's result — from the on-disk cache when
+// enabled and populated, otherwise by characterizing — and observes the
+// outcome: latency histogram, cache-split counters, one journal event.
+// A panic anywhere below (a simulator bug) is recovered into the returned
+// error, so the singleflight entry caches a diagnosis instead of stranding
+// its waiters.
+func (r *Runner) runPoint(p Point, k pointKey) (res *core.Result, err error) {
+	start := time.Now()
+	source := "computed"
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = fmt.Errorf("experiments: panic computing %s/%s/%s/%dMB on %s: %v",
+				p.Bench.Name, p.Flavor, p.Collector, p.HeapMB, p.Platform.Name, v)
+		}
+		r.observePoint(p, source, time.Since(start), err)
+	}()
+	if cached, ok := r.loadPoint(k); ok {
+		source = "disk"
+		return cached, nil
+	}
+	return r.compute(p, k)
+}
+
+// observePoint records one completed point in the registry and journal.
+func (r *Runner) observePoint(p Point, source string, d time.Duration, err error) {
+	if r.Metrics != nil {
+		if source == "disk" {
+			r.Metrics.Counter("experiments.diskcache.hits").Inc()
+		} else if r.CacheDir != "" {
+			r.Metrics.Counter("experiments.diskcache.misses").Inc()
+		}
+		r.Metrics.Counter("experiments.points.completed").Inc()
+		if err != nil {
+			r.Metrics.Counter("experiments.points.errors").Inc()
+		}
+		r.Metrics.Histogram("experiments.point.seconds").Observe(d.Seconds())
+	}
+	if r.Journal != nil {
+		ev := PointEvent{
+			Bench:      p.Bench.Name,
+			Flavor:     p.Flavor.String(),
+			Collector:  p.Collector,
+			HeapMB:     p.HeapMB,
+			Platform:   p.Platform.Name,
+			S10:        p.S10,
+			FanOff:     p.FanOff,
+			Outcome:    "ok",
+			Source:     source,
+			DurationMS: float64(d) / float64(time.Millisecond),
+		}
+		if err != nil {
+			ev.Outcome = "error"
+			ev.Error = err.Error()
+		}
+		_ = r.Journal.Record(ev)
+	}
+}

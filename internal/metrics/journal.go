@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSONL event log: one JSON object per line, in
+// record order. The experiments dispatcher journals one event per
+// characterization point (key, outcome, duration, cache source), so a
+// stalled or failed `-all` run shows exactly which of the hundreds of
+// points is responsible. Records are mutex-serialized and buffered; Close
+// flushes. A nil *Journal is a valid no-op, mirroring the registry's
+// nil-safety.
+type Journal struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJournal returns a journal writing JSONL to w. If w is also an
+// io.Closer, Close closes it after flushing.
+func NewJournal(w io.Writer) *Journal {
+	j := &Journal{buf: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// OpenJournal creates (truncating) a journal file at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJournal(f), nil
+}
+
+// Record appends one event as a JSON line. The first write or encode error
+// sticks and is returned by Close (and every subsequent Record).
+func (j *Journal) Record(event any) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	enc := json.NewEncoder(j.buf) // Encode appends the newline
+	if err := enc.Encode(event); err != nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes buffered events and closes the underlying file, returning
+// the first error seen over the journal's lifetime.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.buf.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if j.c != nil {
+		if err := j.c.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.c = nil
+	}
+	return j.err
+}
+
+// DecodeJournal reads every JSONL event from r into out, a pointer to a
+// slice of the event type (tests and offline analysis of run journals).
+func DecodeJournal[T any](r io.Reader) ([]T, error) {
+	var events []T
+	dec := json.NewDecoder(r)
+	for {
+		var ev T
+		if err := dec.Decode(&ev); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type testEvent struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	MS   float64 `json:"ms"`
+}
+
+// TestJournalRoundTrip writes events and decodes the JSONL back.
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	want := []testEvent{
+		{Name: "fig7/_213_javac", N: 1, MS: 74.25},
+		{Name: "fig7/_209_db", N: 2, MS: 12.5},
+	}
+	for _, ev := range want {
+		if err := j.Record(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJournal[testEvent](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalFile exercises the file-backed path used by -journal.
+func TestJournalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(testEvent{Name: "a", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := DecodeJournal[testEvent](f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("file journal decoded %+v", got)
+	}
+}
+
+// TestJournalConcurrentRecords checks records from parallel workers stay
+// line-atomic (every line decodes; none interleave).
+func TestJournalConcurrentRecords(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	const goroutines, perG = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := j.Record(testEvent{Name: "w", N: g*perG + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJournal[testEvent](&buf)
+	if err != nil {
+		t.Fatalf("interleaved journal lines: %v", err)
+	}
+	if len(got) != goroutines*perG {
+		t.Fatalf("decoded %d events, want %d", len(got), goroutines*perG)
+	}
+}

@@ -1,0 +1,373 @@
+// Package metrics is a small, zero-dependency instrumentation registry for
+// the characterization pipeline: counters, gauges, and histograms that the
+// measurement layers (experiments dispatcher, core sessions, DAQ) update as
+// they run, with deterministic snapshot-to-JSON export and an HTTP handler
+// for live introspection of long runs.
+//
+// The design follows the same constraint the paper imposes on its physical
+// instrumentation — and that the RAPL-overhead literature quantifies for
+// software meters: observation must be cheap enough to leave on. Instruments
+// are resolved once (a mutex-protected map lookup) and updated with a single
+// atomic operation; every instrument is nil-safe, so a disabled pipeline
+// (nil *Registry) pays only a predictable nil-check branch per update.
+// BenchmarkFig7EDPInstrumented vs BenchmarkFig7EDP (bench.sh overhead mode,
+// BENCH_2.json) bounds the full-pipeline cost below 1%.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments. The zero value is not usable; a nil
+// *Registry is: every lookup on it returns a nil instrument whose methods
+// are no-ops, so instrumented code needs no enable/disable branches.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Safe for concurrent callers; nil receivers return a nil (no-op)
+// counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer. A nil *Counter is a valid
+// no-op instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value (set or delta-adjusted). A nil
+// *Gauge is a valid no-op instrument.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (lock-free CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the bucket count of the exponential histogram: one bucket
+// per binary exponent, spanning 2^-32 .. 2^31 (sub-nanosecond to decades
+// when observing seconds).
+const histBuckets = 64
+
+// histOffset maps a binary exponent to its bucket index.
+const histOffset = 32
+
+// Histogram accumulates a distribution in exponential (power-of-two)
+// buckets plus exact count, sum, min, and max. Observations are
+// mutex-protected: histograms instrument coarse events (a characterization
+// point, a figure), never the per-sample fast path. A nil *Histogram is a
+// valid no-op instrument.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// bucketIndex returns the bucket holding v: index i covers
+// [2^(i-1-offset), 2^(i-offset)), so the snapshot's per-bucket bound
+// 2^(i-offset) is an exclusive upper bound.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	_, exp := math.Frexp(v) // v = frac × 2^exp, frac in [0.5, 1)
+	i := exp + histOffset
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// HistogramBucket is one non-empty snapshot bucket: Count observations at
+// most LE (the bucket's upper bound).
+type HistogramBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is the exported view of a histogram. Quantiles are
+// estimated from bucket upper bounds (within one power of two of exact).
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Mean    float64           `json:"mean"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// snapshot exports the histogram under its lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return HistogramSnapshot{}
+	}
+	s.Mean = h.sum / float64(h.count)
+	quantile := func(q float64) float64 {
+		target := int64(math.Ceil(q * float64(h.count)))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for i, n := range h.buckets {
+			cum += n
+			if n > 0 && cum >= target {
+				return math.Ldexp(1, i-histOffset) // bucket upper bound
+			}
+		}
+		return h.max
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	for i, n := range h.buckets {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{LE: math.Ldexp(1, i-histOffset), Count: n})
+		}
+	}
+	return s
+}
+
+// Snapshot is a point-in-time export of every registered instrument. Field
+// maps serialize with sorted keys (encoding/json), so marshaling a snapshot
+// of identical instrument states is byte-deterministic.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot exports the registry's current state. A nil registry snapshots
+// as empty (non-nil, marshalable) maps.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		histograms[n] = h
+	}
+	r.mu.Unlock()
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range histograms {
+		s.Histograms[n] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteFile writes a JSON snapshot to path (the `experiments -metrics FILE`
+// exit dump).
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Handler returns an expvar-style HTTP handler serving the live snapshot as
+// JSON (mounted at /metrics by cmd/experiments -http).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Names returns the sorted names of all registered instruments (tests and
+// debug listings).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run under
+// -race (make race covers this package) it also proves the increment path
+// is data-race-free.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 32, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestGaugeConcurrentAdd checks the CAS-loop delta path balances to zero
+// under contention (the workers.active usage pattern).
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("active")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %v after balanced adds, want 0", v)
+	}
+	g.Set(3.5)
+	if v := g.Value(); v != 3.5 {
+		t.Fatalf("gauge = %v after Set(3.5)", v)
+	}
+}
+
+// TestHistogram checks exact aggregates and that bucketed quantile
+// estimates land within their power-of-two bound.
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				h.Observe(float64(i) / 100) // 0.01 .. 1.00
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != 800 {
+		t.Fatalf("count = %d, want 800", s.Count)
+	}
+	wantSum := 8 * 50.5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if s.Min != 0.01 || s.Max != 1.00 {
+		t.Fatalf("min/max = %v/%v, want 0.01/1.00", s.Min, s.Max)
+	}
+	// True P50 is 0.50; the estimate is a bucket upper bound, so it may be
+	// up to one power of two high.
+	if s.P50 < 0.50 || s.P50 > 1.0 {
+		t.Fatalf("p50 estimate %v outside [0.5, 1.0]", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Fatalf("p99 %v < p50 %v", s.P99, s.P50)
+	}
+}
+
+// TestSnapshotJSONDeterministic marshals the same registry state twice and
+// expects identical bytes (map keys sort), then round-trips it.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("g").Set(4.25)
+	r.Histogram("h").Observe(0.5)
+	var b1, b2 bytes.Buffer
+	if err := r.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if s.Counters["a"] != 1 || s.Counters["b"] != 2 || s.Gauges["g"] != 4.25 {
+		t.Fatalf("round-tripped snapshot wrong: %+v", s)
+	}
+	if s.Histograms["h"].Count != 1 {
+		t.Fatalf("histogram lost: %+v", s.Histograms["h"])
+	}
+}
+
+// TestNilSafety exercises every instrument path on a nil registry: the
+// disabled pipeline must be able to call everything.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(1)
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("nil instruments observed state")
+	}
+	if got := len(r.Names()); got != 0 {
+		t.Fatalf("nil registry has %d names", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var j *Journal
+	if err := j.Record(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBucketIndexBounds pins the clamping of out-of-range and degenerate
+// observations.
+func TestBucketIndexBounds(t *testing.T) {
+	for _, v := range []float64{0, -1, math.NaN(), math.SmallestNonzeroFloat64} {
+		if i := bucketIndex(v); i != 0 {
+			t.Fatalf("bucketIndex(%v) = %d, want 0", v, i)
+		}
+	}
+	if i := bucketIndex(math.MaxFloat64); i != histBuckets-1 {
+		t.Fatalf("bucketIndex(max) = %d, want %d", i, histBuckets-1)
+	}
+	if i := bucketIndex(1.0); i != histOffset+1 {
+		t.Fatalf("bucketIndex(1) = %d, want %d (bucket [1,2))", i, histOffset+1)
+	}
+	if i := bucketIndex(0.75); i != histOffset {
+		t.Fatalf("bucketIndex(0.75) = %d, want %d (bucket [0.5,1))", i, histOffset)
+	}
+}
