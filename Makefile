@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-overhead
+.PHONY: build test vet race check fuzz bench bench-overhead bench-faults
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order each run,
+# flushing out inter-test state dependence; the chosen seed is printed so a
+# failing order can be replayed with -shuffle=SEED.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +23,13 @@ race:
 # check is the tier-1 gate: everything must pass before a change lands.
 check: build vet test race
 
+# fuzz gives each native fuzz target a short budget. The targets guard the
+# two untrusted-input parsers: the fault-plan grammar and the binary
+# program codec.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/faultinject/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalProgram -fuzztime 10s ./internal/classfile/
+
 # bench regenerates BENCH_1.json from the headline figure benchmarks.
 bench:
 	./bench.sh
@@ -28,3 +38,8 @@ bench:
 # on the Fig. 7 hot path (instrumented vs bare; budget <1%).
 bench-overhead:
 	./bench.sh BENCH_2.json overhead
+
+# bench-faults regenerates BENCH_3.json: the fault layer's disabled-path
+# cost on the Fig. 7 hot path (zero-rate plan vs bare; budget <1%).
+bench-faults:
+	./bench.sh BENCH_3.json faults

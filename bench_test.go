@@ -15,6 +15,7 @@ import (
 	"jvmpower/internal/core"
 	"jvmpower/internal/cpu"
 	"jvmpower/internal/experiments"
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/gc"
 	"jvmpower/internal/heap"
 	"jvmpower/internal/metrics"
@@ -88,6 +89,31 @@ func BenchmarkFig7EDPInstrumented(b *testing.B) {
 		}
 		if r.Metrics.Counter("experiments.points.completed").Value() == 0 {
 			b.Fatal("instrumented run observed no points")
+		}
+	}
+}
+
+// BenchmarkFig7EDPFaultsZero regenerates Figure 7 with a fault plan
+// attached whose rates are all zero. Plan.Site returns nil injectors for
+// all-zero sites, so this exercises exactly the disabled-injector path —
+// the nil checks threaded through the DAQ, sense channels, HPM sampler,
+// and retry loop — and its delta against BenchmarkFig7EDP bounds the cost
+// of having the fault layer compiled in but switched off. bench.sh's
+// faults mode records both in BENCH_3.json; the budget is <1%.
+func BenchmarkFig7EDPFaultsZero(b *testing.B) {
+	plan, err := faultinject.Parse("drop=0,gain=0,jitter=0,fail=0,seed=7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(io.Discard)
+		r.Quick = true
+		r.Faults = plan
+		if err := r.RunFigure("fig7"); err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Faulted()) != 0 {
+			b.Fatal("zero-rate plan degraded points")
 		}
 	}
 }

@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -23,12 +25,15 @@ import (
 	"net/http"
 	hpprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"jvmpower/internal/experiments"
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/metrics"
 )
 
@@ -53,6 +58,10 @@ func run() int {
 		metricsFile = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 		journalFile = flag.String("journal", "", "append one JSONL event per characterization point to this file")
 		httpAddr    = flag.String("http", "", "serve live /metrics, /debug/vars, and /debug/pprof on this address")
+		faults      = flag.String("faults", "", "fault-injection plan, e.g. drop=0.05,glitch=0.001,seed=7 (see internal/faultinject)")
+		reps        = flag.Int("reps", 1, "repetitions per point; >1 enables quorum selection with MAD outlier rejection")
+		pointTO     = flag.Duration("point-timeout", 0, "wall-time budget per characterization attempt (0 = unbounded)")
+		resume      = flag.Bool("resume", false, "replay -journal to skip points a previous run completed (requires -journal and -cache)")
 	)
 	flag.Parse()
 
@@ -95,6 +104,38 @@ func run() int {
 	r.Seed = *seed
 	r.CacheDir = *cacheDir
 	r.Metrics = reg
+	r.Reps = *reps
+	r.PointTimeout = *pointTO
+
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults)
+		if err != nil {
+			return fail(err)
+		}
+		r.Faults = plan
+		fmt.Fprintf(os.Stderr, "experiments: fault plan active: %s\n", plan)
+	}
+
+	// SIGINT/SIGTERM cancel the run context: in-flight points are
+	// abandoned, the dispatcher unwinds with context.Canceled, and every
+	// deferred flush below (metrics snapshot, journal, profiles) still
+	// executes before the nonzero exit. A second signal restores default
+	// handling, so a stuck run can be killed outright.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	go func() {
+		sig, ok := <-sigC
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\nexperiments: %v: cancelling run (again to kill)\n", sig)
+		cancel()
+		signal.Stop(sigC)
+	}()
+	r.Ctx = ctx
 
 	if *metricsFile != "" {
 		defer func() {
@@ -103,8 +144,23 @@ func run() int {
 			}
 		}()
 	}
+	if *resume {
+		if *journalFile == "" || *cacheDir == "" {
+			return fail(errors.New("-resume needs -journal FILE (the completion record) and -cache DIR (the data)"))
+		}
+		n, err := r.LoadResume(*journalFile)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: resume: %d point(s) completed by previous run\n", n)
+	}
 	if *journalFile != "" {
-		j, err := metrics.OpenJournal(*journalFile)
+		open := metrics.OpenJournal
+		if *resume {
+			// The prior run's events are the resume record; append to them.
+			open = metrics.OpenJournalAppend
+		}
+		j, err := open(*journalFile)
 		if err != nil {
 			return fail(err)
 		}
@@ -143,7 +199,12 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	r.WriteFaultReport(os.Stderr)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; partial results flushed")
+			return 130
+		}
 		return fail(err)
 	}
 	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,294 @@
+package classfile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"jvmpower/internal/isa"
+	"jvmpower/internal/units"
+)
+
+// Binary program codec: the on-disk form of a Program, playing the role a
+// JAR file plays for a real VM. The format is a compact varint stream —
+// magic, version, then the class and method tables in index order (IDs are
+// positional and not encoded). UnmarshalProgram is the untrusted-input
+// boundary of the package: it must return an error on any malformed input
+// and never panic or over-allocate, which is what FuzzUnmarshalProgram
+// drives at it.
+
+// codecMagic and codecVersion head every encoded program.
+var codecMagic = [4]byte{'j', 'v', 'm', 'c'}
+
+const codecVersion = 1
+
+// maxCodecString bounds any single encoded string; real class names are
+// tens of bytes.
+const maxCodecString = 1 << 16
+
+// MarshalProgram encodes p into the binary program format. The program
+// must validate; encoding an invalid program is refused rather than
+// producing bytes UnmarshalProgram would reject.
+func MarshalProgram(p *Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("classfile: marshal: %w", err)
+	}
+	e := &encoder{}
+	e.bytes(codecMagic[:])
+	e.uvarint(codecVersion)
+	e.str(p.Name)
+	e.uvarint(uint64(len(p.Classes)))
+	for _, c := range p.Classes {
+		e.str(c.Name)
+		e.varint(int64(c.Super))
+		e.uvarint(uint64(len(c.Fields)))
+		for _, f := range c.Fields {
+			e.str(f.Name)
+			e.uvarint(uint64(f.Kind))
+		}
+		e.uvarint(uint64(len(c.Methods)))
+		for _, m := range c.Methods {
+			e.varint(int64(m))
+		}
+		e.uvarint(uint64(c.StaticInts))
+		e.uvarint(uint64(c.StaticRefs))
+		e.bool(c.System)
+		e.uvarint(uint64(c.FileBytes))
+	}
+	e.uvarint(uint64(len(p.Methods)))
+	for _, m := range p.Methods {
+		e.str(m.Name)
+		e.varint(int64(m.Class))
+		e.uvarint(uint64(m.NArgs))
+		for _, ref := range m.RefArgs {
+			e.bool(ref)
+		}
+		e.uvarint(uint64(m.NLocals))
+		e.bool(m.ReturnsRef)
+		e.uvarint(uint64(len(m.Code)))
+		for _, in := range m.Code {
+			e.uvarint(uint64(in.Op))
+			e.varint(int64(in.A))
+			e.varint(int64(in.B))
+		}
+	}
+	e.varint(int64(p.Entry))
+	return e.buf, nil
+}
+
+// UnmarshalProgram decodes the binary program format. Any malformed,
+// truncated, or structurally invalid input yields an error; the returned
+// program always passes Validate. Allocation sizes are checked against the
+// remaining input before they are made, so hostile counts cannot balloon
+// memory.
+func UnmarshalProgram(data []byte) (*Program, error) {
+	d := &decoder{buf: data}
+	var magic [4]byte
+	d.bytes(magic[:])
+	if d.err == nil && magic != codecMagic {
+		return nil, fmt.Errorf("classfile: bad magic %q", magic[:])
+	}
+	if v := d.uvarint(); d.err == nil && v != codecVersion {
+		return nil, fmt.Errorf("classfile: unsupported codec version %d", v)
+	}
+	p := &Program{Name: d.str()}
+
+	nClasses := d.count(2) // a class costs ≥2 bytes (empty name + super)
+	if d.err != nil {
+		return nil, d.err
+	}
+	p.Classes = make([]*Class, 0, nClasses)
+	for i := 0; i < nClasses && d.err == nil; i++ {
+		c := &Class{ID: ClassID(i)}
+		c.Name = d.str()
+		c.Super = ClassID(d.varint())
+		nFields := d.count(2)
+		for j := 0; j < nFields && d.err == nil; j++ {
+			f := Field{Name: d.str()}
+			k := d.uvarint()
+			if d.err == nil && k > uint64(RefField) {
+				d.fail("field kind %d", k)
+			}
+			f.Kind = FieldKind(k)
+			c.Fields = append(c.Fields, f)
+		}
+		nMethods := d.count(1)
+		for j := 0; j < nMethods && d.err == nil; j++ {
+			c.Methods = append(c.Methods, MethodID(d.varint()))
+		}
+		c.StaticInts = int(d.smallCount())
+		c.StaticRefs = int(d.smallCount())
+		c.System = d.bool()
+		c.FileBytes = units.ByteSize(d.uvarint())
+		p.Classes = append(p.Classes, c)
+	}
+
+	nMethods := d.count(5) // a method costs ≥5 bytes
+	if d.err != nil {
+		return nil, d.err
+	}
+	p.Methods = make([]*Method, 0, nMethods)
+	for i := 0; i < nMethods && d.err == nil; i++ {
+		m := &Method{ID: MethodID(i)}
+		m.Name = d.str()
+		m.Class = ClassID(d.varint())
+		m.NArgs = d.count(1)
+		for j := 0; j < m.NArgs && d.err == nil; j++ {
+			m.RefArgs = append(m.RefArgs, d.bool())
+		}
+		m.NLocals = int(d.smallCount())
+		m.ReturnsRef = d.bool()
+		nCode := d.count(3) // an instruction costs ≥3 bytes
+		m.Code = make([]isa.Instr, 0, nCode)
+		for j := 0; j < nCode && d.err == nil; j++ {
+			op := d.uvarint()
+			if d.err == nil && op > 255 {
+				d.fail("opcode %d", op)
+			}
+			m.Code = append(m.Code, isa.Instr{
+				Op: isa.Opcode(op),
+				A:  int32(d.varint()),
+				B:  int32(d.varint()),
+			})
+		}
+		p.Methods = append(p.Methods, m)
+	}
+	p.Entry = MethodID(d.varint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("classfile: %d trailing bytes", len(d.buf)-d.off)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// encoder builds the varint stream.
+type encoder struct{ buf []byte }
+
+func (e *encoder) bytes(b []byte)   { e.buf = append(e.buf, b...) }
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// decoder consumes it, with a sticky error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("classfile: offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) bytes(out []byte) {
+	if d.err != nil {
+		return
+	}
+	if len(d.buf)-d.off < len(out) {
+		d.fail("truncated")
+		return
+	}
+	copy(out, d.buf[d.off:])
+	d.off += len(out)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated")
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	if b > 1 {
+		d.fail("bool %d", b)
+		return false
+	}
+	return b == 1
+}
+
+// count reads an element count and rejects it if the elements could not
+// possibly fit in the remaining input at minBytes each — the check that
+// keeps a hostile count from driving a giant allocation.
+func (d *decoder) count(minBytes int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if remaining := len(d.buf) - d.off; v > uint64(remaining/minBytes)+1 {
+		d.fail("count %d exceeds remaining input", v)
+		return 0
+	}
+	return int(v)
+}
+
+// smallCount reads a scalar count (slots, locals) with a sanity bound
+// rather than an input-proportional one: these size later allocations made
+// by the VM, not by the decoder.
+func (d *decoder) smallCount() uint64 {
+	const maxScalar = 1 << 20
+	v := d.uvarint()
+	if d.err == nil && v > maxScalar {
+		d.fail("count %d unreasonable", v)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxCodecString || n > uint64(len(d.buf)-d.off) {
+		d.fail("string length %d", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

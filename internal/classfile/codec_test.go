@@ -1,0 +1,98 @@
+package classfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	p := simpleProgram(t)
+	data, err := MarshalProgram(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	q, err := UnmarshalProgram(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	data2, err := MarshalProgram(q)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("round trip is not a fixed point")
+	}
+	if q.Name != p.Name || len(q.Classes) != len(p.Classes) || len(q.Methods) != len(p.Methods) {
+		t.Fatalf("decoded shape mismatch: %+v", q)
+	}
+	if q.Entry != p.Entry {
+		t.Fatalf("entry = %d, want %d", q.Entry, p.Entry)
+	}
+	for i, c := range p.Classes {
+		d := q.Classes[i]
+		if d.Name != c.Name || d.Super != c.Super || d.System != c.System ||
+			d.StaticInts != c.StaticInts || d.FileBytes != c.FileBytes ||
+			len(d.Fields) != len(c.Fields) || len(d.Methods) != len(c.Methods) {
+			t.Fatalf("class %d mismatch:\n got %+v\nwant %+v", i, d, c)
+		}
+	}
+	for i, m := range p.Methods {
+		d := q.Methods[i]
+		if d.Name != m.Name || d.Class != m.Class || d.NArgs != m.NArgs ||
+			d.NLocals != m.NLocals || d.ReturnsRef != m.ReturnsRef || len(d.Code) != len(m.Code) {
+			t.Fatalf("method %d mismatch:\n got %+v\nwant %+v", i, d, m)
+		}
+		for j, in := range m.Code {
+			if d.Code[j] != in {
+				t.Fatalf("method %d instr %d = %+v, want %+v", i, j, d.Code[j], in)
+			}
+		}
+	}
+}
+
+func TestMarshalRefusesInvalidProgram(t *testing.T) {
+	p := simpleProgram(t)
+	p.Entry = 99
+	if _, err := MarshalProgram(p); err == nil {
+		t.Fatal("marshal of invalid program should fail")
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	valid, err := MarshalProgram(simpleProgram(t))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("nope" + string(valid[4:])),
+		"bad version": append([]byte("jvmc"), 99),
+		"truncated":   valid[:len(valid)/2],
+		"trailing":    append(append([]byte{}, valid...), 0),
+	}
+	// Corrupting the final varint turns the entry method id out of range:
+	// the decode succeeds structurally but Validate must catch it.
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)-1] = 0x7f
+	cases["bad entry"] = corrupt
+	for name, data := range cases {
+		if _, err := UnmarshalProgram(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUnmarshalBoundsHostileCounts(t *testing.T) {
+	// Header claiming 2^40 classes with no bytes behind it must be rejected
+	// by the count check, not attempted as an allocation.
+	e := &encoder{}
+	e.bytes(codecMagic[:])
+	e.uvarint(codecVersion)
+	e.str("bomb")
+	e.uvarint(1 << 40)
+	_, err := UnmarshalProgram(e.buf)
+	if err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("err = %v, want count rejection", err)
+	}
+}

@@ -1,0 +1,73 @@
+package classfile
+
+import (
+	"bytes"
+	"testing"
+
+	"jvmpower/internal/isa"
+)
+
+// FuzzUnmarshalProgram drives arbitrary bytes at the codec's untrusted
+// boundary. Invariants: UnmarshalProgram never panics (the fuzz engine
+// catches that itself), a successful decode always validates and
+// re-marshals, and the re-marshaled bytes are a fixed point of
+// decode∘encode. (The input itself need not be: binary.Uvarint accepts
+// non-minimal varints, which re-encode shorter.)
+func FuzzUnmarshalProgram(f *testing.F) {
+	valid, err := MarshalProgram(fuzzProgram(f))
+	if err != nil {
+		f.Fatalf("marshal seed: %v", err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("jvmc"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalProgram(data)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("decoded program fails validation: %v", verr)
+		}
+		out, err := MarshalProgram(p)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded program: %v", err)
+		}
+		p2, err := UnmarshalProgram(out)
+		if err != nil {
+			t.Fatalf("decode of re-marshaled program: %v", err)
+		}
+		out2, err := MarshalProgram(p2)
+		if err != nil {
+			t.Fatalf("second re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("canonical form not a fixed point:\n out  %x\n out2 %x", out, out2)
+		}
+	})
+}
+
+// fuzzProgram mirrors simpleProgram but takes the fuzz harness.
+func fuzzProgram(f *testing.F) *Program {
+	f.Helper()
+	b := NewBuilder("fuzz")
+	obj := b.AddClass(ClassSpec{Name: "Object", System: true})
+	cls := b.AddClass(ClassSpec{
+		Name:   "Widget",
+		Super:  "Object",
+		Fields: []Field{{Name: "count", Kind: IntField}, {Name: "next", Kind: RefField}},
+	})
+	b.AddMethod(MethodSpec{
+		Class: cls, Name: "get", RefArgs: []bool{true},
+		Code: Asm(I(isa.ICONST, 1), I(isa.IRETURN)),
+	})
+	main := b.AddMethod(MethodSpec{Class: obj, Name: "main", Code: Asm(I(isa.HALT))})
+	b.SetEntry(main)
+	p, err := b.Build()
+	if err != nil {
+		f.Fatalf("build: %v", err)
+	}
+	return p
+}

@@ -19,6 +19,7 @@ import (
 	"jvmpower/internal/component"
 	"jvmpower/internal/cpu"
 	"jvmpower/internal/daq"
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/hpm"
 	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
@@ -47,6 +48,14 @@ type MeterOptions struct {
 	// Metrics, when non-nil, receives pipeline instrumentation (DAQ sample
 	// and batch counters); nil disables it at no cost beyond a nil check.
 	Metrics *metrics.Registry
+	// Faults, when non-nil and enabled, injects the plan's measurement-chain
+	// failure modes into this session: DAQ sample drops and saturation,
+	// sense-channel gain error and drift, component-port latch faults, and
+	// HPM tick jitter and counter wrap. Each site's injector stream is
+	// derived from (plan seed, site name, Seed), so campaigns replay
+	// bit-for-bit. Nil — or a plan whose relevant rates are all zero —
+	// leaves every layer on its exact uninstrumented path.
+	Faults *faultinject.Plan
 }
 
 // DefaultMeterOptions returns options with the fan on and a fixed seed.
@@ -84,6 +93,10 @@ type Meter struct {
 	// tap).
 	sliceObserver func(component.ID, cpu.Result, units.Power)
 
+	// faultSites lists the active fault injectors by site name, for
+	// post-run tallying; empty when injection is disabled.
+	faultSites []faultSite
+
 	now units.Duration
 
 	// Ground truth, integrated exactly per slice.
@@ -108,6 +121,32 @@ func NewMeter(plat platform.Platform, opts MeterOptions) (*Meter, error) {
 		cfg.CPUChannel = power.NewSenseChannel(plat.CPURailVolts, plat.CPUSenseOhms, opts.Seed)
 		cfg.MemChannel = power.NewSenseChannel(plat.MemRailVolts, plat.MemSenseOhms, opts.Seed+1)
 	}
+	m := &Meter{
+		plat:         plat,
+		core:         cpu.NewCore(plat.CPU),
+		port:         port,
+		thermalModel: plat.Thermal,
+		thermalState: plat.Thermal.NewState(opts.FanOn),
+		dvfsPolicy:   opts.DVFSPolicy,
+	}
+	if opts.Faults.Enabled() {
+		// Each layer's injector is derived from (plan seed, site name, run
+		// seed); Site returns nil for sites whose fault classes all have
+		// zero rates, leaving those layers on the exact disabled path.
+		m.installInjector("port", opts.Faults.Site("port", opts.Seed,
+			faultinject.StaleLatch, faultinject.Glitch), port.SetInjector)
+		cfg.Injector = opts.Faults.Site("daq", opts.Seed,
+			faultinject.SampleDrop, faultinject.ADCSaturate)
+		m.recordSite("daq", cfg.Injector)
+		if cfg.CPUChannel != nil {
+			m.installInjector("sense.cpu", opts.Faults.Site("sense.cpu", opts.Seed,
+				faultinject.Gain, faultinject.Drift), cfg.CPUChannel.SetInjector)
+		}
+		if cfg.MemChannel != nil {
+			m.installInjector("sense.mem", opts.Faults.Site("sense.mem", opts.Seed,
+				faultinject.Gain, faultinject.Drift), cfg.MemChannel.SetInjector)
+		}
+	}
 	d, err := daq.New(cfg, port, opts.Sink)
 	if err != nil {
 		return nil, err
@@ -116,16 +155,51 @@ func NewMeter(plat platform.Platform, opts MeterOptions) (*Meter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Meter{
-		plat:         plat,
-		core:         cpu.NewCore(plat.CPU),
-		port:         port,
-		daq:          d,
-		hpm:          h,
-		thermalModel: plat.Thermal,
-		thermalState: plat.Thermal.NewState(opts.FanOn),
-		dvfsPolicy:   opts.DVFSPolicy,
-	}, nil
+	if opts.Faults.Enabled() {
+		m.installInjector("hpm", opts.Faults.Site("hpm", opts.Seed,
+			faultinject.TickJitter, faultinject.CounterWrap), h.SetInjector)
+	}
+	m.daq = d
+	m.hpm = h
+	return m, nil
+}
+
+// faultSite pairs a site name with its live injector for tally export.
+type faultSite struct {
+	name string
+	inj  *faultinject.Injector
+}
+
+// installInjector hands inj to a layer's setter and records it for
+// post-run tallying; a nil injector (disabled site) installs nothing.
+func (m *Meter) installInjector(name string, inj *faultinject.Injector, set func(*faultinject.Injector)) {
+	if inj == nil {
+		return
+	}
+	set(inj)
+	m.recordSite(name, inj)
+}
+
+func (m *Meter) recordSite(name string, inj *faultinject.Injector) {
+	if inj != nil {
+		m.faultSites = append(m.faultSites, faultSite{name, inj})
+	}
+}
+
+// FaultCounts tallies every injected fault this session has fired, keyed
+// "site.class" (e.g. "daq.drop"); nil when injection is disabled or
+// nothing fired.
+func (m *Meter) FaultCounts() map[string]int64 {
+	var out map[string]int64
+	for _, s := range m.faultSites {
+		for class, n := range s.inj.Counts() {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[s.name+"."+class] += n
+		}
+	}
+	return out
 }
 
 // Platform returns the platform under test.

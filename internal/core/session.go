@@ -7,6 +7,7 @@ import (
 	"jvmpower/internal/classfile"
 	"jvmpower/internal/component"
 	"jvmpower/internal/daq"
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/gc"
 	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
@@ -36,6 +37,10 @@ type RunConfig struct {
 	// plus the DAQ's acquisition counters. Instrumentation never touches
 	// figure output — runs are byte-identical with it on or off.
 	Metrics *metrics.Registry
+	// Faults, when non-nil and enabled, injects measurement-chain failure
+	// modes into the run (see MeterOptions.Faults). Nil or disabled keeps
+	// every layer on its exact uninstrumented path.
+	Faults *faultinject.Plan
 }
 
 // Result bundles the decomposition with the meter (ground truth, thermal
@@ -45,6 +50,9 @@ type Result struct {
 	Meter         *Meter
 	GCStats       gc.Stats
 	LoadedClasses int
+	// FaultCounts tallies injected faults by "site.class" (nil unless a
+	// fault plan was active and fired).
+	FaultCounts map[string]int64
 }
 
 // Characterize executes one characterization run to completion and returns
@@ -60,6 +68,9 @@ func Characterize(cfg RunConfig) (Result, error) {
 	if cfg.Program == nil {
 		return Result{}, fmt.Errorf("core: RunConfig.Program is required")
 	}
+	if cfg.VM.HeapSize <= 0 {
+		return Result{}, fmt.Errorf("core: heap size %v must be positive", cfg.VM.HeapSize)
+	}
 	agg := analysis.NewAggregator(cfg.Platform.DAQPeriod)
 	var sink daq.Sink = agg
 	if cfg.TraceSink != nil {
@@ -73,6 +84,7 @@ func Characterize(cfg RunConfig) (Result, error) {
 		Seed:          cfg.VM.Seed,
 		DVFSPolicy:    cfg.DVFSPolicy,
 		Metrics:       cfg.Metrics,
+		Faults:        cfg.Faults,
 	}
 	meter, err := NewMeter(cfg.Platform, opts)
 	if err != nil {
@@ -100,5 +112,6 @@ func Characterize(cfg RunConfig) (Result, error) {
 		Meter:         meter,
 		GCStats:       machine.Collector().Stats(),
 		LoadedClasses: machine.Loader().LoadedCount(),
+		FaultCounts:   meter.FaultCounts(),
 	}, nil
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"jvmpower/internal/component"
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/metrics"
 	"jvmpower/internal/power"
 	"jvmpower/internal/units"
@@ -28,16 +29,37 @@ import (
 type ComponentPort struct {
 	id     component.ID
 	writes int64
+
+	// inj, when non-nil, injects StaleLatch (a write never latches) and
+	// Glitch (a read catches the pins mid-transition) faults.
+	inj *faultinject.Injector
 }
 
-// Write latches a component ID into the port.
+// SetInjector installs a fault injector on the port (nil disables it).
+func (p *ComponentPort) SetInjector(inj *faultinject.Injector) { p.inj = inj }
+
+// Write latches a component ID into the port. Under an injected StaleLatch
+// fault the write is lost and the latch keeps its previous value — the
+// port-glitch failure mode of the paper's parallel-port wiring.
 func (p *ComponentPort) Write(id component.ID) {
-	p.id = id
 	p.writes++
+	if p.inj.Fire(faultinject.StaleLatch) {
+		return
+	}
+	p.id = id
 }
 
-// Read returns the currently latched ID.
-func (p *ComponentPort) Read() component.ID { return p.id }
+// Read returns the currently latched ID. Under an injected Glitch fault the
+// pins are caught mid-transition and a corrupted (but in-range) ID is
+// returned; the latch itself is unharmed.
+func (p *ComponentPort) Read() component.ID {
+	if p.inj.Fire(faultinject.Glitch) {
+		if g := p.id ^ 1; g < component.N {
+			return g
+		}
+	}
+	return p.id
+}
 
 // Writes reports how many times the VM wrote the port (instrumentation
 // overhead accounting).
@@ -104,6 +126,10 @@ type Config struct {
 	// "daq.batches"). Counters are updated once per emitted batch — never
 	// per sample — so the fast path pays one atomic add per ≤256 samples.
 	Metrics *metrics.Registry
+	// Injector, when non-nil, injects SampleDrop (conversions lost under
+	// load) and ADCSaturate (samples clamped to full scale) faults. Nil
+	// keeps Observe on the exact uninstrumented fast path.
+	Injector *faultinject.Injector
 }
 
 // observeBatch is the largest run of samples the DAQ materializes per
@@ -131,6 +157,14 @@ type DAQ struct {
 	// no-op when Config.Metrics is nil).
 	samplesC *metrics.Counter
 	batchesC *metrics.Counter
+
+	// Fault injection (nil when disabled). dropped counts samples lost to
+	// injected SampleDrop faults; they are excluded from the samples count,
+	// as a conversion that never completed is on a real card.
+	inj      *faultinject.Injector
+	dropped  int64
+	droppedC *metrics.Counter
+	satC     *metrics.Counter
 }
 
 // New returns a DAQ reading the given port and delivering to sink. Sinks
@@ -143,7 +177,7 @@ func New(cfg Config, port *ComponentPort, sink Sink) (*DAQ, error) {
 	if port == nil || sink == nil {
 		return nil, fmt.Errorf("daq: port and sink are required")
 	}
-	return &DAQ{
+	d := &DAQ{
 		cfg:       cfg,
 		port:      port,
 		sink:      AsBatchSink(sink),
@@ -153,7 +187,13 @@ func New(cfg Config, port *ComponentPort, sink Sink) (*DAQ, error) {
 		memBuf:    make([]units.Power, observeBatch),
 		samplesC:  cfg.Metrics.Counter("daq.samples"),
 		batchesC:  cfg.Metrics.Counter("daq.batches"),
-	}, nil
+		inj:       cfg.Injector,
+	}
+	if d.inj != nil {
+		d.droppedC = cfg.Metrics.Counter("daq.samples.dropped")
+		d.satC = cfg.Metrics.Counter("daq.samples.saturated")
+	}
+	return d, nil
 }
 
 // Observe advances acquisition time by dt during which true processor and
@@ -203,16 +243,53 @@ func (d *DAQ) Observe(dt units.Duration, cpuTrue, memTrue units.Power) {
 				buf[i].Mem = d.memBuf[i]
 			}
 		}
-		d.samples += k
-		d.samplesC.Add(k)
-		d.batchesC.Inc()
-		d.sink.SampleBatch(buf)
+		if d.inj != nil {
+			buf = d.applyFaults(buf)
+		}
+		if len(buf) > 0 {
+			d.samples += int64(len(buf))
+			d.samplesC.Add(int64(len(buf)))
+			d.batchesC.Inc()
+			d.sink.SampleBatch(buf)
+		}
 		rem -= k
 	}
 	left := dt - consumed // in [0, Period)
 	d.now += dt
 	d.untilNext = d.cfg.Period - left
 }
+
+// applyFaults runs one measured batch through the injected DAQ failure
+// modes: dropped samples are compacted out (the conversion never happened),
+// saturated samples report the channel's full-scale reconstruction. Only
+// reached when an injector is installed; the disabled path never branches
+// per sample.
+func (d *DAQ) applyFaults(buf []Sample) []Sample {
+	w := 0
+	for i := range buf {
+		if d.inj.Fire(faultinject.SampleDrop) {
+			d.dropped++
+			d.droppedC.Inc()
+			continue
+		}
+		s := buf[i]
+		if d.inj.Fire(faultinject.ADCSaturate) {
+			if d.cfg.CPUChannel != nil {
+				s.CPU = d.cfg.CPUChannel.FullScalePower()
+			}
+			if d.cfg.MemChannel != nil {
+				s.Mem = d.cfg.MemChannel.FullScalePower()
+			}
+			d.satC.Inc()
+		}
+		buf[w] = s
+		w++
+	}
+	return buf[:w]
+}
+
+// Dropped reports how many samples injected faults have lost.
+func (d *DAQ) Dropped() int64 { return d.dropped }
 
 // Now reports acquisition time.
 func (d *DAQ) Now() units.Duration { return d.now }

@@ -22,14 +22,20 @@ import (
 // diskCacheVersion invalidates all persisted entries when the cached
 // format — or the simulation's observable output — changes. Bump it in any
 // PR that changes figure numbers.
-const diskCacheVersion = 1
+const diskCacheVersion = 2
 
 // diskKey names the cache file for a point under the current runner
-// settings.
+// settings. The fault plan's canonical spec and the repetition count are
+// part of the key: a fault campaign's perturbed results must never be
+// served to a clean run, nor a single-rep result to a quorum run.
 func (r *Runner) diskKey(k pointKey) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s|%d|%s|%d|%s|%t|%t|seed=%d|quick=%t",
+	reps := r.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s|%d|%s|%d|%s|%t|%t|seed=%d|quick=%t|faults=%s|reps=%d",
 		diskCacheVersion, k.bench, k.flavor, k.collector, k.heapMB, k.platform,
-		k.s10, k.fanOff, r.Seed, r.Quick)))
+		k.s10, k.fanOff, r.Seed, r.Quick, r.Faults.String(), reps)))
 	return fmt.Sprintf("%x.point", h[:12])
 }
 
@@ -42,6 +48,7 @@ type cachedPoint struct {
 	Decomposition analysis.Decomposition
 	GCStats       gc.Stats
 	LoadedClasses int
+	FaultCounts   map[string]int64
 }
 
 // loadPoint returns the persisted result for k, if the disk cache is
@@ -63,6 +70,7 @@ func (r *Runner) loadPoint(k pointKey) (*core.Result, bool) {
 		Decomposition: c.Decomposition,
 		GCStats:       c.GCStats,
 		LoadedClasses: c.LoadedClasses,
+		FaultCounts:   c.FaultCounts,
 	}, true
 }
 
@@ -91,6 +99,7 @@ func (r *Runner) storePoint(k pointKey, res *core.Result) {
 		Decomposition: res.Decomposition,
 		GCStats:       res.GCStats,
 		LoadedClasses: res.LoadedClasses,
+		FaultCounts:   res.FaultCounts,
 	}
 	if err := gob.NewEncoder(f).Encode(&c); err != nil {
 		f.Close()

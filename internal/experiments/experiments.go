@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"jvmpower/internal/core"
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/units"
@@ -49,8 +51,37 @@ type Runner struct {
 	Metrics *metrics.Registry
 	Journal *metrics.Journal
 
-	mu    sync.Mutex
-	cache map[pointKey]*flight
+	// Faults, when non-nil and enabled, injects the plan's deterministic
+	// failure modes into every characterized point: the measurement-chain
+	// classes inside the simulation plus point-level fail/panic faults in
+	// the dispatcher itself. Nil (the default) leaves every layer on its
+	// exact uninstrumented path.
+	Faults *faultinject.Plan
+	// Reps, when >1, runs each point that many times with derived seeds
+	// and selects a quorum result by MAD outlier rejection on total energy
+	// (see quorumSelect); individual repetition failures are tolerated as
+	// long as one survives. Reps<=1 runs each point once, bit-identical to
+	// a runner without the field.
+	Reps int
+	// Retries bounds re-attempts after a transient injected fault: 0 means
+	// the default (2), negative disables retries. Panics, timeouts, and
+	// genuine errors are never retried — the simulation is deterministic.
+	Retries int
+	// PointTimeout bounds each characterization attempt's wall time; 0
+	// (the default) leaves attempts unbounded and on the goroutine-free
+	// fast path.
+	PointTimeout time.Duration
+	// Ctx, when non-nil, cancels the run: in-flight attempts are abandoned
+	// and every subsequent Run returns context.Canceled, which RunAll and
+	// the figures treat as abortive.
+	Ctx context.Context
+
+	mu     sync.Mutex
+	cache  map[pointKey]*flight
+	resume map[pointKey]bool
+
+	faultMu sync.Mutex
+	faults  []FaultRecord
 }
 
 // flight is one singleflight cache entry: the first Run for a key owns the
@@ -99,8 +130,14 @@ func (p Point) key() pointKey {
 // Run executes (or returns the cached result of) one point. Concurrent
 // calls for the same point coalesce onto one computation (singleflight);
 // errors are cached too — every run is deterministic, so retrying a
-// failed point would fail identically.
+// failed point would fail identically (transient injected faults are the
+// exception, and runPoint retries those internally before caching).
+// Invalid points fail with a typed InvalidPointError before touching any
+// cache.
 func (r *Runner) Run(p Point) (*core.Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
 	k := p.key()
 	r.mu.Lock()
 	if f, ok := r.cache[k]; ok {
@@ -129,9 +166,10 @@ func (r *Runner) Run(p Point) (*core.Result, error) {
 // that panics mid-point.
 var characterize = core.Characterize
 
-// compute runs the characterization for one point and persists it to the
-// disk cache for next time.
-func (r *Runner) compute(p Point, k pointKey) (*core.Result, error) {
+// computeOnce runs one characterization of p at the given seed (which is
+// the runner's seed except under quorum repetitions). Persistence and
+// resilience live above, in computeResilient.
+func (r *Runner) computeOnce(p Point, seed uint64) (*core.Result, error) {
 	profile := p.Bench.Profile
 	if p.S10 {
 		profile = workloads.S10Profile(p.Bench)
@@ -145,24 +183,27 @@ func (r *Runner) compute(p Point, k pointKey) (*core.Result, error) {
 			Flavor:    p.Flavor,
 			Collector: p.Collector,
 			HeapSize:  units.ByteSize(p.HeapMB) * units.MB,
-			Seed:      r.Seed,
+			Seed:      seed,
 		},
 		Program: p.Bench.Program(),
 		Profile: profile,
 		FanOn:   !p.FanOff,
 		Metrics: r.Metrics,
+		Faults:  r.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s/%s/%dMB on %s: %w",
 			p.Bench.Name, p.Flavor, p.Collector, p.HeapMB, p.Platform.Name, err)
 	}
-	r.storePoint(k, &res)
 	return &res, nil
 }
 
 // RunAll executes points in parallel (results cached as they finish) and
-// returns the first error encountered. Dispatch stops at the first error:
-// in-flight points finish, but no new ones start.
+// returns the first abortive error encountered — an invalid point or a
+// cancelled run. Dispatch stops at the first abortive error: in-flight
+// points finish, but no new ones start. Tolerable failures (injected
+// faults, panics, timeouts) do not stop the sweep: their errors stay
+// cached and degrade into missing cells when a figure pulls them.
 func (r *Runner) RunAll(points []Point) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(points) {
@@ -192,7 +233,7 @@ func (r *Runner) RunAll(points []Point) error {
 				_, err := r.Run(p)
 				busyC.Add(int64(time.Since(t0)))
 				activeG.Add(-1)
-				if err != nil {
+				if err != nil && abortive(err) {
 					failOnce.Do(func() {
 						firstErr = err
 						close(done)

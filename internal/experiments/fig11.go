@@ -38,9 +38,13 @@ func (r *Runner) Fig11Embedded() error {
 	var gcPow, appPow, clPow stats.Running
 	for _, b := range workloads.EmbeddedSet() {
 		for _, h := range r.EmbeddedHeapsMB() {
-			res, err := r.Run(Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: board, S10: true})
+			res, ok, err := r.cell("fig11", Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: board, S10: true})
 			if err != nil {
 				return err
+			}
+			if !ok {
+				t.AddRow(b.Name, fmt.Sprintf("%dMB", h), missingCell, missingCell, missingCell, missingCell)
+				continue
 			}
 			d := &res.Decomposition
 			t.AddRow(b.Name, fmt.Sprintf("%dMB", h),

@@ -35,9 +35,13 @@ func (r *Runner) Fig6EnergyDecomposition() error {
 			t := analysis.NewTable("Benchmark", "Opt", "Base", "CL", "GC", "App", "JVM total")
 			var gcFracs []float64
 			for _, b := range benches {
-				res, err := r.Run(Point{Bench: b, Flavor: vm.Jikes, Collector: "SemiSpace", HeapMB: heap, Platform: p6})
+				res, ok, err := r.cell("fig6", Point{Bench: b, Flavor: vm.Jikes, Collector: "SemiSpace", HeapMB: heap, Platform: p6})
 				if err != nil {
 					return err
+				}
+				if !ok {
+					t.AddRow(b.Name, missingCell, missingCell, missingCell, missingCell, missingCell, missingCell)
+					continue
 				}
 				d := &res.Decomposition
 				t.AddRow(b.Name,
@@ -65,9 +69,12 @@ func (r *Runner) Fig6EnergyDecomposition() error {
 	var optWho, clWho string
 	for _, b := range r.Benchmarks() {
 		heap := r.JikesHeapsMB(b.Suite)[0]
-		res, err := r.Run(Point{Bench: b, Flavor: vm.Jikes, Collector: "SemiSpace", HeapMB: heap, Platform: p6})
+		res, ok, err := r.cell("fig6", Point{Bench: b, Flavor: vm.Jikes, Collector: "SemiSpace", HeapMB: heap, Platform: p6})
 		if err != nil {
 			return err
+		}
+		if !ok {
+			continue
 		}
 		d := &res.Decomposition
 		o, ba, c := d.CPUEnergyFrac(component.OptCompiler), d.CPUEnergyFrac(component.BaseCompiler), d.CPUEnergyFrac(component.ClassLoader)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jvmpower/internal/analysis"
+	"jvmpower/internal/core"
 	"jvmpower/internal/gc"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/vm"
@@ -28,12 +29,11 @@ func (r *Runner) Fig7EDP() error {
 	p6 := platform.P6()
 	r.printf("\n== Figure 7: energy-delay product vs heap size (Jikes RVM, J·s) ==\n")
 
+	// A degraded point yields NaN, rendered as the missing-cell mark; only
+	// abortive errors surface.
 	edp := func(b *workloads.Benchmark, col string, heap int) (float64, error) {
-		res, err := r.Run(Point{Bench: b, Flavor: vm.Jikes, Collector: col, HeapMB: heap, Platform: p6})
-		if err != nil {
-			return 0, err
-		}
-		return float64(res.Decomposition.EDP), nil
+		return r.cellValue("fig7", Point{Bench: b, Flavor: vm.Jikes, Collector: col, HeapMB: heap, Platform: p6},
+			func(res *core.Result) float64 { return float64(res.Decomposition.EDP) })
 	}
 
 	for _, b := range r.Benchmarks() {
@@ -50,7 +50,7 @@ func (r *Runner) Fig7EDP() error {
 				if err != nil {
 					return err
 				}
-				row = append(row, fmt.Sprintf("%.3f", v))
+				row = append(row, fmtCell("%.3f", v))
 			}
 			t.AddRow(row...)
 		}
@@ -66,7 +66,7 @@ func (r *Runner) Fig7EDP() error {
 		h := r.JikesHeapsMB(b.Suite)[0]
 		ss, err1 := edp(b, "SemiSpace", h)
 		gm, err2 := edp(b, "GenMS", h)
-		if err1 == nil && err2 == nil && ss > 0 {
+		if err1 == nil && err2 == nil && ss > 0 && gm == gm {
 			r.printf("  _213_javac @%dMB: GenMS improves EDP over SemiSpace by %s (paper: as much as 70%%)\n",
 				h, analysis.Pct(1-gm/ss))
 		}
@@ -83,11 +83,14 @@ func (r *Runner) Fig7EDP() error {
 				err3 = e
 				break
 			}
-			if i == 0 || v < bestGC {
+			if v != v {
+				continue // degraded point: best-of over the survivors
+			}
+			if i == 0 || bestGC == 0 || v < bestGC {
 				bestGC = v
 			}
 		}
-		if err1 == nil && err3 == nil && bestGC > 0 {
+		if err1 == nil && err3 == nil && bestGC > 0 && ss == ss {
 			r.printf("  _209_db @%dMB: SemiSpace vs best GenCopy point: %s better (paper: ~5%% better)\n",
 				big, analysis.Pct(1-ss/bestGC))
 		}
@@ -106,7 +109,8 @@ func (r *Runner) Fig7EDP() error {
 		ss1, e2 := edp(b, "SemiSpace", h1)
 		gc0, e3 := edp(b, "GenCopy", h0)
 		gc1, e4 := edp(b, "GenCopy", h1)
-		if e1 != nil || e2 != nil || e3 != nil || e4 != nil || ss0 == 0 || gc0 == 0 {
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil ||
+			!(ss0 > 0) || !(gc0 > 0) || ss1 != ss1 || gc1 != gc1 {
 			continue
 		}
 		r.printf("  %s %d→%dMB EDP reduction: SemiSpace %s, GenCopy %s (paper: 56/50/27%% vs 20/2/3%% for javac/mtrt/euler)\n",

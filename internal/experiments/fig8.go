@@ -36,9 +36,14 @@ func (r *Runner) Fig8Power() error {
 	for _, b := range r.Benchmarks() {
 		heaps := r.JikesHeapsMB(b.Suite)
 		for _, h := range []int{heaps[0], heaps[len(heaps)-1]} {
-			res, err := r.Run(Point{Bench: b, Flavor: vm.Jikes, Collector: "GenCopy", HeapMB: h, Platform: p6})
+			res, ok, err := r.cell("fig8", Point{Bench: b, Flavor: vm.Jikes, Collector: "GenCopy", HeapMB: h, Platform: p6})
 			if err != nil {
 				return err
+			}
+			if !ok {
+				t.AddRow(b.Name, fmt.Sprintf("%dMB", h), missingCell, missingCell,
+					missingCell, missingCell, missingCell, missingCell, missingCell)
+				continue
 			}
 			d := &res.Decomposition
 			_, who := d.OverallPeak()
@@ -90,9 +95,12 @@ func (r *Runner) Fig8Power() error {
 		var p, ipc, l2 stats.Running
 		for _, b := range r.Benchmarks() {
 			for _, h := range r.JikesHeapsMB(b.Suite) {
-				res, err := r.Run(Point{Bench: b, Flavor: vm.Jikes, Collector: col, HeapMB: h, Platform: p6})
+				res, ok, err := r.cell("fig8", Point{Bench: b, Flavor: vm.Jikes, Collector: col, HeapMB: h, Platform: p6})
 				if err != nil {
 					return err
+				}
+				if !ok {
+					continue
 				}
 				d := &res.Decomposition
 				if d.AvgPower[component.GC] > 0 {
@@ -134,9 +142,12 @@ func (r *Runner) MemoryEnergy() error {
 		for _, b := range benches {
 			for _, h := range r.JikesHeapsMB(b.Suite) {
 				for col, acc := range map[string]*stats.Running{"SemiSpace": &ss, "GenCopy": &gcp} {
-					res, err := r.Run(Point{Bench: b, Flavor: vm.Jikes, Collector: col, HeapMB: h, Platform: p6})
+					res, ok, err := r.cell("mem", Point{Bench: b, Flavor: vm.Jikes, Collector: col, HeapMB: h, Platform: p6})
 					if err != nil {
 						return err
+					}
+					if !ok {
+						continue
 					}
 					acc.Add(res.Decomposition.MemEnergyFrac())
 				}

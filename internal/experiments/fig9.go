@@ -5,6 +5,7 @@ import (
 
 	"jvmpower/internal/analysis"
 	"jvmpower/internal/component"
+	"jvmpower/internal/core"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/stats"
 	"jvmpower/internal/units"
@@ -28,9 +29,13 @@ func (r *Runner) Fig9Kaffe() error {
 	for _, b := range r.Benchmarks() {
 		heaps := r.JikesHeapsMB(b.Suite)
 		for _, h := range []int{heaps[0], heaps[len(heaps)-1]} {
-			res, err := r.Run(Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: p6})
+			res, ok, err := r.cell("fig9", Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: p6})
 			if err != nil {
 				return err
+			}
+			if !ok {
+				t.AddRow(b.Name, fmt.Sprintf("%dMB", h), missingCell, missingCell, missingCell, missingCell)
+				continue
 			}
 			d := &res.Decomposition
 			t.AddRow(b.Name, fmt.Sprintf("%dMB", h),
@@ -42,9 +47,12 @@ func (r *Runner) Fig9Kaffe() error {
 		}
 		// Averages over the full heap sweep.
 		for _, h := range heaps {
-			res, err := r.Run(Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: p6})
+			res, ok, err := r.cell("fig9", Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: p6})
 			if err != nil {
 				return err
+			}
+			if !ok {
+				continue
 			}
 			d := &res.Decomposition
 			gcFrac.Add(d.CPUEnergyFrac(component.GC))
@@ -83,22 +91,22 @@ func (r *Runner) Fig10KaffeEDP() error {
 		row := []string{b.Name}
 		first, last := 0.0, 0.0
 		for i, h := range heaps {
-			res, err := r.Run(Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: p6})
+			v, err := r.cellValue("fig10", Point{Bench: b, Flavor: vm.Kaffe, HeapMB: h, Platform: p6},
+				func(res *core.Result) float64 { return float64(res.Decomposition.EDP) })
 			if err != nil {
 				return err
 			}
-			v := float64(res.Decomposition.EDP)
 			if i == 0 {
 				first = v
 			}
 			last = v
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, fmtCell("%.3f", v))
 		}
 		t.AddRow(row...)
 		if _, err := t.WriteTo(r.Out); err != nil {
 			return err
 		}
-		if first > 0 {
+		if first > 0 && last == last {
 			r.printf("  change smallest→largest heap: %s (paper: little change)\n", analysis.Pct(last/first-1))
 		}
 	}

@@ -39,7 +39,8 @@ import (
 //	figure.<name>.seconds                     gauge    per-figure wall time
 
 // PointEvent is one run-journal record: the point's identity, where its
-// result came from, how long it took, and how it ended.
+// result came from, how long it took, and how it ended. LoadResume replays
+// these to decide which points a crashed run already completed.
 type PointEvent struct {
 	Bench      string  `json:"bench"`
 	Flavor     string  `json:"flavor"`
@@ -49,9 +50,22 @@ type PointEvent struct {
 	S10        bool    `json:"s10,omitempty"`
 	FanOff     bool    `json:"fan_off,omitempty"`
 	Outcome    string  `json:"outcome"` // "ok" or "error"
-	Source     string  `json:"source"`  // "computed" or "disk"
+	Source     string  `json:"source"`  // "computed", "disk", or "resume"
 	DurationMS float64 `json:"duration_ms"`
 	Error      string  `json:"error,omitempty"`
+	// Attempts counts characterization attempts across retries and quorum
+	// repetitions; omitted for cache-served points.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// FaultEvent is the journal record of a permanently failed, degraded
+// point: which figure lost it and why. Distinguished from PointEvents by
+// the event field ("fault").
+type FaultEvent struct {
+	Event  string `json:"event"` // "fault"
+	Figure string `json:"figure"`
+	Point  string `json:"point"`
+	Error  string `json:"error"`
 }
 
 // runPoint produces one point's result — from the on-disk cache when
@@ -63,25 +77,32 @@ type PointEvent struct {
 func (r *Runner) runPoint(p Point, k pointKey) (res *core.Result, err error) {
 	start := time.Now()
 	source := "computed"
+	attempts := 0
 	defer func() {
 		if v := recover(); v != nil {
 			res = nil
-			err = fmt.Errorf("experiments: panic computing %s/%s/%s/%dMB on %s: %v",
-				p.Bench.Name, p.Flavor, p.Collector, p.HeapMB, p.Platform.Name, v)
+			err = fmt.Errorf("experiments: panic computing %s: %v", p, v)
 		}
-		r.observePoint(p, source, time.Since(start), err)
+		r.observePoint(p, source, time.Since(start), attempts, err)
 	}()
 	if cached, ok := r.loadPoint(k); ok {
 		source = "disk"
+		if r.resumed(k) {
+			// A prior run's journal marked this point done and the disk
+			// cache still holds it: the resumed run skips the computation.
+			source = "resume"
+			r.Metrics.Counter("experiments.resume.skipped").Inc()
+		}
 		return cached, nil
 	}
-	return r.compute(p, k)
+	res, attempts, err = r.computeResilient(p, k)
+	return res, err
 }
 
 // observePoint records one completed point in the registry and journal.
-func (r *Runner) observePoint(p Point, source string, d time.Duration, err error) {
+func (r *Runner) observePoint(p Point, source string, d time.Duration, attempts int, err error) {
 	if r.Metrics != nil {
-		if source == "disk" {
+		if source == "disk" || source == "resume" {
 			r.Metrics.Counter("experiments.diskcache.hits").Inc()
 		} else if r.CacheDir != "" {
 			r.Metrics.Counter("experiments.diskcache.misses").Inc()
@@ -104,6 +125,7 @@ func (r *Runner) observePoint(p Point, source string, d time.Duration, err error
 			Outcome:    "ok",
 			Source:     source,
 			DurationMS: float64(d) / float64(time.Millisecond),
+			Attempts:   attempts,
 		}
 		if err != nil {
 			ev.Outcome = "error"

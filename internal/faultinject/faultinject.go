@@ -1,0 +1,406 @@
+// Package faultinject is a deterministic, seed-driven fault-injection layer
+// for the measurement chain. The paper's methodology exists because real
+// measurement hardware misbehaves: sense-resistor chains carry gain error
+// and drift, a 40 µs DAQ drops samples under load and its ADC saturates,
+// the parallel-port component-ID latch glitches during transitions, and the
+// OS timer driving HPM sampling jitters while the counters silently wrap.
+// This package models those failure modes so the acquisition pipeline can
+// demonstrate that it survives and quantifies them, instead of assuming a
+// fault-free chain.
+//
+// A Plan is parsed from a compact spec string ("drop=0.05,glitch=0.001,
+// seed=7") and is off by default: a nil *Plan — or a plan whose rates are
+// all zero — produces nil Injectors, and every instrumented layer guards
+// its fault path behind a nil check, so the disabled configuration runs the
+// exact pre-injection code path at zero cost.
+//
+// Determinism: every injection decision comes from a splitmix64 stream
+// seeded by (plan seed, site name, run seed), so a fault campaign replays
+// bit-for-bit under the same plan and seeds — the property the rest of the
+// repository's figures are built on, extended to their failures.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Class identifies one fault class of the measurement chain.
+type Class uint8
+
+// The fault classes, each anchored to the physical failure it models.
+const (
+	// SampleDrop loses a DAQ sample: the card cannot keep up and a
+	// conversion is never recorded (daq.DAQ).
+	SampleDrop Class = iota
+	// ADCSaturate records a sample at the ADC's full-scale value, as a
+	// transient spike beyond the configured range does (daq.DAQ).
+	ADCSaturate
+	// Gain perturbs one acquisition run with an extra amplifier gain error
+	// (power.SenseChannel).
+	Gain
+	// Drift accumulates slow multiplicative drift in a sense channel — the
+	// resistor warming, the amplifier's zero wandering (power.SenseChannel).
+	Drift
+	// StaleLatch loses a component-ID port write: the latch keeps its old
+	// value and subsequent samples are misattributed (daq.ComponentPort).
+	StaleLatch
+	// Glitch corrupts a component-ID port read — pins caught mid-transition
+	// (daq.ComponentPort).
+	Glitch
+	// TickJitter displaces an OS timer tick driving HPM sampling
+	// (hpm.Sampler).
+	TickJitter
+	// CounterWrap wraps a hardware performance counter between ticks; the
+	// reader cannot reconstruct the interval and loses it (hpm.Sampler).
+	CounterWrap
+	// PointFail makes one characterization attempt return a transient
+	// error (the experiments dispatcher retries these).
+	PointFail
+	// PointPanic makes a characterization point panic deterministically on
+	// every attempt (the dispatcher isolates and records it).
+	PointPanic
+
+	nClasses
+)
+
+// Magnitudes of the analog perturbations, chosen to sit at the scale of the
+// chain's intrinsic imperfections (sense.go bakes in 0.1% resistor
+// tolerance and 0.5% gain error).
+const (
+	// GainMagnitude is the peak relative gain excursion of a Gain fault.
+	GainMagnitude = 0.02
+	// DriftStep is the relative drift accumulated per Drift fault firing.
+	DriftStep = 1e-4
+	// JitterFrac is the peak relative displacement of a jittered HPM tick.
+	JitterFrac = 0.2
+)
+
+var classNames = [nClasses]string{
+	"drop", "saturate", "gain", "drift", "stale", "glitch",
+	"jitter", "wrap", "fail", "panic",
+}
+
+// String returns the class's spec-string key.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassByName resolves a spec-string key to its Class.
+func ClassByName(name string) (Class, bool) {
+	for i, n := range classNames {
+		if n == name {
+			return Class(i), true
+		}
+	}
+	return 0, false
+}
+
+// Classes lists every fault class.
+func Classes() []Class {
+	out := make([]Class, nClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Plan is a parsed fault campaign: per-class rates plus the seed that makes
+// it replayable. The zero value (and nil) is a fully disabled plan.
+type Plan struct {
+	// Seed drives every injection decision (combined with each site's name
+	// and the run's own seed).
+	Seed uint64
+
+	rates       [nClasses]float64
+	panicPoints []string
+}
+
+// Parse builds a Plan from a comma-separated spec of key=value pairs.
+// Keys are fault classes with rates in [0,1] ("drop=0.05"), "seed=N", or
+// "panic-point=SUBSTR" (repeatable) forcing a deterministic panic at every
+// characterization point whose identity contains SUBSTR:
+//
+//	drop=0.05,glitch=0.001,jitter=0.1,seed=7
+//	fail=0.2,panic-point=_213_javac/JikesRVM/SemiSpace/32MB
+//
+// An empty spec yields a disabled plan. Malformed specs return an error and
+// never panic (fuzzed).
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch {
+		case key == "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed %q: %v", val, err)
+			}
+			p.Seed = n
+		case key == "panic-point":
+			if val == "" {
+				return nil, fmt.Errorf("faultinject: panic-point needs a point substring")
+			}
+			p.panicPoints = append(p.panicPoints, val)
+		default:
+			c, ok := ClassByName(key)
+			if !ok {
+				return nil, fmt.Errorf("faultinject: unknown fault class %q (have %s, seed, panic-point)",
+					key, strings.Join(classNames[:], ", "))
+			}
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: rate %s=%q: %v", key, val, err)
+			}
+			if r < 0 || r > 1 || r != r {
+				return nil, fmt.Errorf("faultinject: rate %s=%v outside [0,1]", key, r)
+			}
+			p.rates[c] = r
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan canonically (classes in declaration order, zero
+// rates omitted); Parse(p.String()) reproduces the plan. A disabled plan
+// renders as "".
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	for c := Class(0); c < nClasses; c++ {
+		if p.rates[c] != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", c, p.rates[c]))
+		}
+	}
+	pts := append([]string(nil), p.panicPoints...)
+	sort.Strings(pts)
+	for _, s := range pts {
+		parts = append(parts, "panic-point="+s)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	if p.Seed != 1 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Rate reports the plan's rate for a class; nil-safe.
+func (p *Plan) Rate(c Class) float64 {
+	if p == nil {
+		return 0
+	}
+	return p.rates[c]
+}
+
+// Enabled reports whether the plan injects anything at all; nil-safe.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	if len(p.panicPoints) > 0 {
+		return true
+	}
+	for _, r := range p.rates {
+		if r != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Site derives the injector for one measurement-chain site. The stream is
+// seeded by (plan seed, site name, run seed), so each site of each point
+// sees an independent, replayable fault pattern. When none of the site's
+// classes has a nonzero rate, Site returns nil — the layer's fault path is
+// then compiled out behind its nil check and the run is bit-identical to a
+// plan-free run.
+func (p *Plan) Site(name string, runSeed uint64, classes ...Class) *Injector {
+	if p == nil {
+		return nil
+	}
+	active := false
+	for _, c := range classes {
+		if p.rates[c] != 0 {
+			active = true
+			break
+		}
+	}
+	if !active {
+		return nil
+	}
+	return &Injector{
+		rates: p.rates,
+		state: mix(mix(p.Seed, hashString(name)), runSeed),
+	}
+}
+
+// PointPanics reports whether a characterization point (identified by its
+// canonical key string) must panic under this plan: either its key contains
+// a panic-point target, or the panic-rate hash selects it. The decision
+// depends only on (plan, key) — never on the attempt — so a panicking point
+// panics on every retry and is correctly treated as a permanent fault.
+func (p *Plan) PointPanics(key string) bool {
+	if p == nil {
+		return false
+	}
+	for _, sub := range p.panicPoints {
+		if strings.Contains(key, sub) {
+			return true
+		}
+	}
+	r := p.rates[PointPanic]
+	return r > 0 && hash01(mix(p.Seed, hashString(key))) < r
+}
+
+// PointFails reports whether one characterization attempt fails with a
+// transient error. The decision hashes the attempt number too: a retry
+// rolls fresh dice, which is what makes the fault transient.
+func (p *Plan) PointFails(key string, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	r := p.rates[PointFail]
+	if r == 0 {
+		return false
+	}
+	return hash01(mix(mix(p.Seed, hashString(key)), uint64(attempt)+0x9E37)) < r
+}
+
+// Injector is one site's deterministic fault stream. A nil *Injector is a
+// valid, fully disabled injector: Fire on it returns false without
+// advancing any state, which is what keeps disabled sites free.
+type Injector struct {
+	rates  [nClasses]float64
+	state  uint64
+	counts [nClasses]int64
+}
+
+// Fire decides whether a fault of class c strikes the next opportunity,
+// advancing the site's deterministic stream and tallying fired faults.
+// Classes with rate zero return false without consuming randomness, so a
+// site's decision stream depends only on its active classes.
+func (i *Injector) Fire(c Class) bool {
+	if i == nil {
+		return false
+	}
+	r := i.rates[c]
+	if r == 0 {
+		return false
+	}
+	if i.next01() >= r {
+		return false
+	}
+	i.counts[c]++
+	return true
+}
+
+// Uniform returns the next deterministic uniform in [0,1), for fault
+// magnitudes (jitter displacement, gain excursion).
+func (i *Injector) Uniform() float64 {
+	if i == nil {
+		return 0
+	}
+	return i.next01()
+}
+
+// Count reports how many faults of class c this injector has fired.
+func (i *Injector) Count(c Class) int64 {
+	if i == nil {
+		return 0
+	}
+	return i.counts[c]
+}
+
+// Counts returns the non-zero fired-fault tallies keyed by class name.
+func (i *Injector) Counts() map[string]int64 {
+	if i == nil {
+		return nil
+	}
+	var out map[string]int64
+	for c, n := range i.counts {
+		if n != 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[Class(c).String()] = n
+		}
+	}
+	return out
+}
+
+func (i *Injector) next01() float64 {
+	i.state = mix(i.state, 0x9E3779B97F4A7C15)
+	return hash01(i.state)
+}
+
+// Fault is the typed error carried by injected point-level failures and
+// recognized by the dispatcher's retry policy.
+type Fault struct {
+	// Class is the injected fault class.
+	Class Class
+	// Site identifies where it struck (a point key for dispatcher faults).
+	Site string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: %s fault at %s", f.Class, f.Site)
+}
+
+// Transient reports whether retrying can clear the fault.
+func (f *Fault) Transient() bool { return f.Class == PointFail }
+
+// IsTransient reports whether err carries a transient injected fault — the
+// only errors the dispatcher's bounded-retry loop re-attempts.
+func IsTransient(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Transient()
+}
+
+// mix is one splitmix64 scramble of a combined with b.
+func mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9E3779B97F4A7C15 + (a << 6) + (a >> 2))
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hashString folds a string into the mix chain.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hash01 maps a 64-bit state to [0,1).
+func hash01(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,198 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"drop=0.05",
+		"drop=0.05,glitch=0.001,jitter=0.1",
+		"fail=0.2,panic-point=_213_javac",
+		"drop=0.01,seed=42",
+		"saturate=1,gain=0.5,drift=0.25,stale=0.125,wrap=0.0625,panic=0.03125",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", spec, p.String(), err)
+		}
+		if p.String() != q.String() {
+			t.Fatalf("round trip of %q: %q != %q", spec, p.String(), q.String())
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"drop",            // no value
+		"drop=",           // empty rate
+		"drop=-0.1",       // negative
+		"drop=1.5",        // above 1
+		"drop=NaN",        // not a number... ParseFloat accepts NaN; rejected by range check
+		"zorch=0.5",       // unknown class
+		"seed=-1",         // negative seed
+		"seed=abc",        // non-numeric seed
+		"panic-point=",    // empty target
+		"drop=0.05,,=0.1", // stray pair
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted malformed spec", spec)
+		}
+	}
+}
+
+func TestDisabledPlanIsFree(t *testing.T) {
+	var p *Plan
+	if p.Enabled() || p.Rate(SampleDrop) != 0 || p.PointPanics("x") || p.PointFails("x", 0) {
+		t.Fatal("nil plan is not fully disabled")
+	}
+	if p.Site("daq", 1, SampleDrop) != nil {
+		t.Fatal("nil plan produced an injector")
+	}
+	empty, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Fatal("empty plan reports enabled")
+	}
+	if empty.Site("daq", 1, SampleDrop, ADCSaturate) != nil {
+		t.Fatal("zero-rate site got an injector")
+	}
+
+	// A plan with rates only for other sites must not instantiate this one.
+	p2, err := Parse("jitter=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Site("daq", 1, SampleDrop, ADCSaturate) != nil {
+		t.Fatal("site with zero-rate classes got an injector")
+	}
+	if p2.Site("hpm", 1, TickJitter, CounterWrap) == nil {
+		t.Fatal("site with an active class got no injector")
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var i *Injector
+	if i.Fire(SampleDrop) || i.Uniform() != 0 || i.Count(SampleDrop) != 0 || i.Counts() != nil {
+		t.Fatal("nil injector misbehaved")
+	}
+}
+
+func TestInjectorDeterminismAndRate(t *testing.T) {
+	p, err := Parse("drop=0.1,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	run := func() (fired int64, pattern string) {
+		inj := p.Site("daq", 3, SampleDrop)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			hit := inj.Fire(SampleDrop)
+			if j < 64 {
+				if hit {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+		}
+		return inj.Count(SampleDrop), sb.String()
+	}
+	f1, pat1 := run()
+	f2, pat2 := run()
+	if f1 != f2 || pat1 != pat2 {
+		t.Fatalf("same (plan, site, seed) produced different streams: %d/%d %q/%q", f1, f2, pat1, pat2)
+	}
+	got := float64(f1) / n
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("drop rate %.4f, want ≈0.10", got)
+	}
+	// A different run seed must give an independent pattern.
+	inj := p.Site("daq", 4, SampleDrop)
+	var sb strings.Builder
+	for j := 0; j < 64; j++ {
+		if inj.Fire(SampleDrop) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	if sb.String() == pat1 && pat1 != strings.Repeat("0", 64) {
+		t.Fatal("different run seeds produced the same fault pattern")
+	}
+}
+
+func TestPointPanicsAndFails(t *testing.T) {
+	p, err := Parse("panic-point=_213_javac/JikesRVM,fail=0.5,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "_213_javac/JikesRVM/SemiSpace/32MB@P6"
+	if !p.PointPanics(key) {
+		t.Fatal("panic-point target did not panic")
+	}
+	if p.PointPanics("_209_db/JikesRVM/SemiSpace/32MB@P6") {
+		t.Fatal("non-target point panicked with panic rate 0")
+	}
+	// PointFails is attempt-dependent (that is what makes it transient):
+	// over many attempts roughly half fail, and the per-attempt decision is
+	// stable.
+	fails := 0
+	for a := 0; a < 1000; a++ {
+		f := p.PointFails(key, a)
+		if f != p.PointFails(key, a) {
+			t.Fatal("PointFails not deterministic per attempt")
+		}
+		if f {
+			fails++
+		}
+	}
+	if fails < 400 || fails > 600 {
+		t.Fatalf("fail=0.5 fired %d/1000", fails)
+	}
+}
+
+func TestFaultTransience(t *testing.T) {
+	transient := &Fault{Class: PointFail, Site: "k"}
+	permanent := &Fault{Class: PointPanic, Site: "k"}
+	if !IsTransient(transient) {
+		t.Fatal("PointFail fault not transient")
+	}
+	if IsTransient(permanent) {
+		t.Fatal("PointPanic fault reported transient")
+	}
+	wrapped := fmt.Errorf("experiments: point x: %w", transient)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient fault not recognized")
+	}
+	if IsTransient(fmt.Errorf("plain error")) {
+		t.Fatal("plain error reported transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil error reported transient")
+	}
+}
+
+func TestClassNamesRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, ok := ClassByName(c.String())
+		if !ok || got != c {
+			t.Fatalf("class %v name %q does not round-trip", c, c)
+		}
+	}
+	if _, ok := ClassByName("nope"); ok {
+		t.Fatal("unknown class name resolved")
+	}
+}

@@ -1,0 +1,37 @@
+package faultinject
+
+import "testing"
+
+// FuzzParse asserts the fault-plan parser never panics: any input either
+// yields a plan whose canonical form re-parses to the same canonical form,
+// or an error. Corpus seeds live in testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"drop=0.05",
+		"drop=0.05,glitch=0.001,jitter=0.1,seed=7",
+		"fail=0.2,panic-point=_213_javac/JikesRVM/SemiSpace/32MB",
+		"saturate=1,gain=0.5,drift=1e-3,stale=0.125,wrap=0.0625,panic=0.03125",
+		"drop",
+		"drop=,",
+		"seed=18446744073709551615",
+		"panic-point==,=",
+		"drop=0.05,drop=0.10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		q, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if q.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", spec, canon, q.String())
+		}
+	})
+}

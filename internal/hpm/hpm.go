@@ -16,6 +16,7 @@ import (
 
 	"jvmpower/internal/component"
 	"jvmpower/internal/cpu"
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/units"
 )
 
@@ -31,7 +32,14 @@ type Sampler struct {
 	perComp  [component.N]cpu.Counters
 	tickHits [component.N]int64
 	ticks    int64
+
+	// inj, when non-nil, injects TickJitter (a displaced OS timer tick)
+	// and CounterWrap (an interval lost to a wrapped hardware counter).
+	inj *faultinject.Injector
 }
+
+// SetInjector installs a fault injector on the sampler (nil disables it).
+func (s *Sampler) SetInjector(inj *faultinject.Injector) { s.inj = inj }
 
 // New returns a sampler with the given OS timer period.
 func New(period units.Duration) (*Sampler, error) {
@@ -60,6 +68,19 @@ func (s *Sampler) Observe(dt units.Duration, comp component.ID, delta cpu.Counte
 		s.now += s.untilTick
 		remaining -= s.untilTick
 		s.untilTick = s.period
+		if s.inj != nil {
+			if s.inj.Fire(faultinject.TickJitter) {
+				// The next tick lands early or late by up to JitterFrac of
+				// the period — scheduling latency on a loaded system.
+				f := 1 + faultinject.JitterFrac*(2*s.inj.Uniform()-1)
+				s.untilTick = units.Duration(float64(s.period) * f)
+			}
+			if s.inj.Fire(faultinject.CounterWrap) {
+				// A counter wrapped between ticks; the reader cannot
+				// reconstruct the interval's deltas and loses them.
+				s.pending = cpu.Counters{}
+			}
+		}
 
 		// Tick: attribute everything since the previous tick to the
 		// component running now.

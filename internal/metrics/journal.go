@@ -41,6 +41,17 @@ func OpenJournal(path string) (*Journal, error) {
 	return NewJournal(f), nil
 }
 
+// OpenJournalAppend opens (creating if needed) a journal file at path and
+// appends to it — the resume path, where the prior run's events must
+// survive as the record of what already completed.
+func OpenJournalAppend(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewJournal(f), nil
+}
+
 // Record appends one event as a JSON line. The first write or encode error
 // sticks and is returned by Close (and every subsequent Record).
 func (j *Journal) Record(event any) error {

@@ -3,6 +3,7 @@ package power
 import (
 	"fmt"
 
+	"jvmpower/internal/faultinject"
 	"jvmpower/internal/units"
 )
 
@@ -33,6 +34,12 @@ type SenseChannel struct {
 
 	seed uint64
 	n    uint64
+
+	// inj, when non-nil, injects Gain (per-run amplifier gain excursions)
+	// and Drift (slowly accumulating multiplicative drift) faults. drift is
+	// the accumulated relative drift so far.
+	inj   *faultinject.Injector
+	drift float64
 }
 
 // NewSenseChannel returns a channel with the paper-like defaults for the
@@ -61,6 +68,32 @@ func (s *SenseChannel) Validate() error {
 	return nil
 }
 
+// SetInjector installs a fault injector on the channel (nil disables
+// injection; the measurement path is then byte-identical to a channel that
+// never had one).
+func (s *SenseChannel) SetInjector(inj *faultinject.Injector) { s.inj = inj }
+
+// FullScalePower is the power reading reconstructed from a full-scale ADC
+// conversion — what a saturated sample reports.
+func (s *SenseChannel) FullScalePower() units.Power {
+	return units.Power(s.ADCFullScaleVolts / s.ResistorOhms * s.RailVolts)
+}
+
+// faultGain returns the multiplicative fault factor for one acquisition
+// run: accumulated drift plus any per-run gain excursion. Called once per
+// run (Measure is a one-sample run), mirroring how real chain errors move
+// slowly relative to the 40 µs sampling period.
+func (s *SenseChannel) faultGain() float64 {
+	if s.inj.Fire(faultinject.Drift) {
+		s.drift += faultinject.DriftStep
+	}
+	g := 1 + s.drift
+	if s.inj.Fire(faultinject.Gain) {
+		g *= 1 + faultinject.GainMagnitude*(2*s.inj.Uniform()-1)
+	}
+	return g
+}
+
 // Measure converts true instantaneous power on the rail into the power the
 // DAQ would record for it: I = P/V through the resistor, drop digitized,
 // and P reconstructed.
@@ -70,6 +103,11 @@ func (s *SenseChannel) Measure(truePower units.Power) units.Power {
 	}
 	current := float64(truePower) / s.RailVolts
 	drop := current * s.ResistorOhms * (1 + s.ResistorTolerance) * (1 + s.GainError)
+	if s.inj != nil {
+		// Injected gain/drift faults perturb the analog chain, upstream of
+		// the ADC, exactly where the physical errors live.
+		drop *= s.faultGain()
+	}
 
 	// ADC quantization of the drop voltage.
 	lsb := s.ADCFullScaleVolts / float64(int64(1)<<s.ADCBits)
@@ -101,6 +139,9 @@ func (s *SenseChannel) MeasureRun(truePower units.Power, out []units.Power) {
 	}
 	current := float64(truePower) / s.RailVolts
 	drop := current * s.ResistorOhms * (1 + s.ResistorTolerance) * (1 + s.GainError)
+	if s.inj != nil {
+		drop *= s.faultGain()
+	}
 	lsb := s.ADCFullScaleVolts / float64(int64(1)<<s.ADCBits)
 	if drop > s.ADCFullScaleVolts {
 		drop = s.ADCFullScaleVolts

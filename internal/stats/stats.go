@@ -155,6 +155,83 @@ func Percentile(xs []float64, p float64) float64 {
 	return s[lo]*(1-frac) + s[hi]*frac
 }
 
+// Median returns the middle value of xs (mean of the two middle values for
+// even lengths), or 0 for an empty slice. It copies and sorts the input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// MAD returns the median absolute deviation of xs about its median — the
+// robust scale estimate the quorum dispatcher uses for outlier rejection.
+// Empty input yields 0.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// FilterOutliersMAD returns the indices of xs whose distance from the
+// median is at most k MADs (k≈3.5 is the usual conservative cut). When the
+// MAD is zero — half or more of the samples identical — only exact-median
+// matches survive unless all deviations are zero, in which case everything
+// survives. The returned indices are in input order and never empty for
+// non-empty input: if rejection would discard every sample, the sample
+// closest to the median is kept.
+func FilterOutliersMAD(xs []float64, k float64) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	med := Median(xs)
+	mad := MAD(xs)
+	var keep []int
+	if mad == 0 {
+		for i, x := range xs {
+			if x == med {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			keep = closestIndex(xs, med)
+		}
+		return keep
+	}
+	for i, x := range xs {
+		if math.Abs(x-med) <= k*mad {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		keep = closestIndex(xs, med)
+	}
+	return keep
+}
+
+// closestIndex returns the single index of xs nearest to target.
+func closestIndex(xs []float64, target float64) []int {
+	best := 0
+	for i, x := range xs {
+		if math.Abs(x-target) < math.Abs(xs[best]-target) {
+			best = i
+		}
+	}
+	return []int{best}
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
