@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz bench bench-overhead bench-faults
+.PHONY: build test vet race check ci fuzz fuzz-smoke bench bench-overhead bench-faults bench-isolate
 
 build:
 	$(GO) build ./...
@@ -14,21 +14,36 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race exercises the concurrent experiment dispatcher (RunAll workers,
-# singleflight coalescing) and the metrics registry's atomic instruments
-# under the race detector.
+# race exercises the concurrent machinery under the race detector: the
+# experiment dispatcher (RunAll workers, singleflight coalescing), the
+# metrics registry's atomic instruments, and the supervisor's worker pool
+# (watchdogs, kills, restarts) with its framed protocol.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/metrics/...
+	$(GO) test -race ./internal/experiments/... ./internal/metrics/... ./internal/supervisor/... ./internal/pointproto/...
 
 # check is the tier-1 gate: everything must pass before a change lands.
 check: build vet test race
 
+# ci mirrors .github/workflows/ci.yml locally: the tier-1 gate plus a short
+# fuzz smoke over every native fuzz target.
+ci: build vet test race fuzz-smoke
+
 # fuzz gives each native fuzz target a short budget. The targets guard the
-# two untrusted-input parsers: the fault-plan grammar and the binary
-# program codec.
+# untrusted-input parsers: the fault-plan grammar, the binary program codec,
+# and the supervisor wire protocol (frames and point specs).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/faultinject/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalProgram -fuzztime 10s ./internal/classfile/
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/pointproto/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSpec -fuzztime 10s ./internal/pointproto/
+
+# fuzz-smoke is the CI-sized version of fuzz: a few seconds per target,
+# enough to replay the corpus and catch regressions in the parsers.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 3s ./internal/faultinject/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalProgram -fuzztime 3s ./internal/classfile/
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 3s ./internal/pointproto/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSpec -fuzztime 3s ./internal/pointproto/
 
 # bench regenerates BENCH_1.json from the headline figure benchmarks.
 bench:
@@ -43,3 +58,9 @@ bench-overhead:
 # cost on the Fig. 7 hot path (zero-rate plan vs bare; budget <1%).
 bench-faults:
 	./bench.sh BENCH_3.json faults
+
+# bench-isolate regenerates BENCH_4.json: the isolation machinery's
+# disabled-path cost on the Fig. 7 hot path, and the same path against the
+# frozen PR 3 baseline (both budgets <1%).
+bench-isolate:
+	./bench.sh BENCH_4.json isolate

@@ -15,6 +15,11 @@
 #             (BENCH_3.json). A zero-rate plan installs no injectors, so
 #             the ratio prices the nil checks the fault layer threads
 #             through the measurement chain; the budget is <1%.
+#   isolate   the process-isolation disabled-path experiment: Figure 7
+#             regenerated bare vs with the isolation machinery reachable
+#             but no supervisor attached (BENCH_4.json). vs_pr3_pct
+#             additionally compares against the frozen PR 3 BENCH_3
+#             baseline of the same benchmark; the budget is <1%.
 #
 # Runs each benchmark with -benchmem, COUNT repetitions, and writes a JSON
 # file containing the per-repetition ns/op plus memory stats.
@@ -35,8 +40,12 @@ faults)
     OUT=${1:-BENCH_3.json}
     PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPFaultsZero$'
     ;;
+isolate)
+    OUT=${1:-BENCH_4.json}
+    PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPIsolateOff$'
+    ;;
 *)
-    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults)" >&2
+    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults|isolate)" >&2
     exit 2
     ;;
 esac
@@ -64,6 +73,8 @@ END {
         printf "  \"description\": \"Observability-layer overhead on the Fig. 7 hot path: bare vs metrics registry + JSONL journal enabled. overhead_pct compares the fastest repetition of each (scheduling/thermal noise is strictly additive, so min ns/op is the noise-robust estimator; per-rep spread on this figure is ~10x the effect).\",\n"
     } else if (mode == "faults") {
         printf "  \"description\": \"Fault-injection disabled-path overhead on the Fig. 7 hot path: bare vs a zero-rate fault plan attached (no injectors installed, only the nil checks threaded through the DAQ, sense channels, HPM sampler, and retry loop). overhead_pct compares the fastest repetition of each; the budget is <1%%.\",\n"
+    } else if (mode == "isolate") {
+        printf "  \"description\": \"Process-isolation disabled-path overhead on the Fig. 7 hot path: bare vs the isolation machinery reachable but no supervisor attached (runPoint takes the in-process branch; breakers never materialize). overhead_pct compares the fastest repetition of each; vs_pr3_pct compares the isolate-off path against the frozen PR 3 BENCH_3 baseline of BenchmarkFig7EDP. Both budgets are <1%%.\",\n"
     } else {
         printf "  \"description\": \"Figure-benchmark evidence: per-repetition ns/op with -benchmem, vs the frozen pre-batching seed baseline.\",\n"
     }
@@ -93,6 +104,16 @@ END {
     if (mode == "faults" && reps["BenchmarkFig7EDP"] > 0 && reps["BenchmarkFig7EDPFaultsZero"] > 0) {
         printf ",\n  \"overhead_pct\": %.3f", \
             (min["BenchmarkFig7EDPFaultsZero"] / min["BenchmarkFig7EDP"] - 1) * 100
+    }
+    if (mode == "isolate" && reps["BenchmarkFig7EDP"] > 0 && reps["BenchmarkFig7EDPIsolateOff"] > 0) {
+        # PR 3 baseline: the fastest BenchmarkFig7EDP repetition frozen in
+        # BENCH_3.json (min of its ns_per_op array).
+        pr3 = 3821362947
+        printf ",\n  \"baseline_pr3_ns_per_op\": %.0f", pr3
+        printf ",\n  \"overhead_pct\": %.3f", \
+            (min["BenchmarkFig7EDPIsolateOff"] / min["BenchmarkFig7EDP"] - 1) * 100
+        printf ",\n  \"vs_pr3_pct\": %.3f", \
+            (min["BenchmarkFig7EDPIsolateOff"] / pr3 - 1) * 100
     }
     printf "\n}\n"
 }' "$TMP" > "$OUT"

@@ -13,6 +13,7 @@
 //	experiments -fig fig7 -cpuprofile cpu.pprof
 //	experiments -all -metrics m.json -journal j.jsonl
 //	experiments -all -http localhost:6060   # live /metrics + /debug/pprof
+//	experiments -all -isolate 4             # points run in worker subprocesses
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"jvmpower/internal/experiments"
 	"jvmpower/internal/faultinject"
 	"jvmpower/internal/metrics"
+	"jvmpower/internal/supervisor"
 )
 
 // main delegates to run so that every deferred cleanup — CPU/heap profile
@@ -62,8 +64,22 @@ func run() int {
 		reps        = flag.Int("reps", 1, "repetitions per point; >1 enables quorum selection with MAD outlier rejection")
 		pointTO     = flag.Duration("point-timeout", 0, "wall-time budget per characterization attempt (0 = unbounded)")
 		resume      = flag.Bool("resume", false, "replay -journal to skip points a previous run completed (requires -journal and -cache)")
+		isolate     = flag.Int("isolate", 0, "run each point in one of N supervised worker subprocesses (0 = in-process)")
+		breakerK    = flag.Int("breaker", 0, "with -isolate: consecutive worker deaths that open a figure's circuit breaker (0 = default 3, negative = never)")
+		worker      = flag.Bool("worker", false, "internal: run as a point worker speaking the supervisor protocol on stdin/stdout")
 	)
 	flag.Parse()
+
+	if *worker {
+		// Worker mode: the supervisor in a parent `experiments -isolate N`
+		// re-invoked this binary. Everything happens over stdin/stdout;
+		// stderr passes through to the parent's Config.Stderr.
+		if err := experiments.ServeWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
 
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -137,6 +153,34 @@ func run() int {
 	}()
 	r.Ctx = ctx
 
+	if *isolate > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fail(err)
+		}
+		sup, err := supervisor.New(supervisor.Config{
+			Argv:    []string{exe, "-worker"},
+			Workers: *isolate,
+			// Under isolation the point budget is enforced from outside:
+			// the supervisor SIGKILLs the worker instead of abandoning a
+			// goroutine, so the whole point (all reps and retries) shares
+			// one wall-clock budget.
+			PointTimeout: *pointTO,
+			MemLimit:     os.Getenv("JVMPOWER_WORKER_GOMEMLIMIT"),
+			Metrics:      reg,
+			Stderr:       os.Stderr,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		defer sup.Close()
+		r.Supervisor = sup
+		r.BreakerThreshold = *breakerK
+		fmt.Fprintf(os.Stderr, "experiments: isolation active: %d worker(s)\n", *isolate)
+	} else if *breakerK != 0 {
+		return fail(errors.New("-breaker requires -isolate (breakers count worker deaths)"))
+	}
+
 	if *metricsFile != "" {
 		defer func() {
 			if err := reg.WriteFile(*metricsFile); err != nil {
@@ -185,7 +229,21 @@ func run() int {
 		mux.HandleFunc("/debug/pprof/symbol", hpprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", hpprof.Trace)
 		fmt.Fprintf(os.Stderr, "experiments: introspection at http://%s/metrics and /debug/pprof\n", ln.Addr())
-		go func() { _ = http.Serve(ln, mux) }()
+		srv := &http.Server{
+			Handler: mux,
+			// A peer that connects and never finishes its request headers
+			// must not pin a connection (and its goroutine) forever.
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { _ = srv.Serve(ln) }()
+		// Deferred, so the unwind path — including the SIGINT/SIGTERM
+		// cancellation above — drains in-flight scrapes instead of
+		// snapping the listener shut mid-response.
+		defer func() {
+			shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer shCancel()
+			_ = srv.Shutdown(shCtx)
+		}()
 	}
 
 	start := time.Now()

@@ -41,6 +41,13 @@ type RunConfig struct {
 	// modes into the run (see MeterOptions.Faults). Nil or disabled keeps
 	// every layer on its exact uninstrumented path.
 	Faults *faultinject.Plan
+	// Cancel, when non-nil, aborts the run at the next VM segment boundary
+	// once closed: Characterize returns an error wrapping vm.ErrCancelled
+	// and the partial measurement is discarded. This is how a dispatcher
+	// that has timed an attempt out reclaims the goroutine and the CPU it
+	// was burning, instead of letting the abandoned simulation run to
+	// completion.
+	Cancel <-chan struct{}
 }
 
 // Result bundles the decomposition with the meter (ground truth, thermal
@@ -94,6 +101,7 @@ func Characterize(cfg RunConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	machine.SetCancel(cfg.Cancel)
 	if err := machine.RunProfile(cfg.Profile); err != nil {
 		return Result{}, fmt.Errorf("core: running %s on %s/%s heap %v: %w",
 			cfg.Profile.Name, cfg.VM.Flavor, machine.Collector().Name(), cfg.VM.HeapSize, err)

@@ -25,6 +25,7 @@ import (
 	"jvmpower/internal/faultinject"
 	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
+	"jvmpower/internal/supervisor"
 	"jvmpower/internal/units"
 	"jvmpower/internal/vm"
 	"jvmpower/internal/workloads"
@@ -76,12 +77,26 @@ type Runner struct {
 	// the figures treat as abortive.
 	Ctx context.Context
 
+	// Supervisor, when non-nil, routes every computed point to a supervised
+	// worker subprocess (see isolate.go) instead of computing in-process.
+	// Under isolation PointTimeout is enforced by the supervisor with a
+	// real SIGKILL — configure it on the supervisor, not here — and worker
+	// deaths feed per-figure circuit breakers.
+	Supervisor *supervisor.Supervisor
+	// BreakerThreshold is the consecutive-worker-death count that trips a
+	// figure's circuit breaker: 0 means the default (3), negative disables
+	// tripping. Ignored without a Supervisor.
+	BreakerThreshold int
+
 	mu     sync.Mutex
 	cache  map[pointKey]*flight
 	resume map[pointKey]bool
 
 	faultMu sync.Mutex
 	faults  []FaultRecord
+
+	breakerMu sync.Mutex
+	breakers  map[string]*supervisor.Breaker
 }
 
 // flight is one singleflight cache entry: the first Run for a key owns the
@@ -167,9 +182,13 @@ func (r *Runner) Run(p Point) (*core.Result, error) {
 var characterize = core.Characterize
 
 // computeOnce runs one characterization of p at the given seed (which is
-// the runner's seed except under quorum repetitions). Persistence and
-// resilience live above, in computeResilient.
-func (r *Runner) computeOnce(p Point, seed uint64) (*core.Result, error) {
+// the runner's seed except under quorum repetitions). stop, when non-nil,
+// aborts the simulation at its next segment boundary once closed (see
+// core.RunConfig.Cancel); attemptGuarded closes it when it abandons a
+// timed-out or cancelled attempt, so the goroutine stops burning CPU
+// instead of simulating to completion. Persistence and resilience live
+// above, in computeResilient.
+func (r *Runner) computeOnce(p Point, seed uint64, stop <-chan struct{}) (*core.Result, error) {
 	profile := p.Bench.Profile
 	if p.S10 {
 		profile = workloads.S10Profile(p.Bench)
@@ -190,6 +209,7 @@ func (r *Runner) computeOnce(p Point, seed uint64) (*core.Result, error) {
 		FanOn:   !p.FanOff,
 		Metrics: r.Metrics,
 		Faults:  r.Faults,
+		Cancel:  stop,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s/%s/%dMB on %s: %w",
@@ -381,7 +401,7 @@ func (r *Runner) RunFigure(name string) error {
 	}
 	start := time.Now()
 	err := fn(r)
-	r.Metrics.Gauge("experiments.figure."+name+".seconds").Set(time.Since(start).Seconds())
+	r.Metrics.Gauge("experiments.figure." + name + ".seconds").Set(time.Since(start).Seconds())
 	r.Metrics.Counter("experiments.figures.run").Inc()
 	if err != nil {
 		r.Metrics.Counter("experiments.figures.errors").Inc()

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"jvmpower/internal/core"
+	"jvmpower/internal/pointproto"
+	"jvmpower/internal/supervisor"
+)
+
+// Process-isolated point execution: the parent half of worker mode. When
+// Runner.Supervisor is set, runPoint routes every computed point through
+// computeIsolated instead of computeResilient — the spec crosses the
+// pointproto boundary to a pooled worker subprocess, and the result comes
+// back as the same cachedPoint shape the disk cache serves, so figures
+// cannot tell the difference (the byte-identical guarantee the isolation
+// tests pin).
+//
+// What isolation buys over the in-process guard: a point that exceeds its
+// budget or wedges is SIGKILLed and its CPU and heap actually come back
+// (the in-process guard can only abandon the goroutine and let the
+// cancellation poll wind it down); a point that OOMs takes a worker, not
+// the campaign. Worker deaths surface as *supervisor.CrashError, which is
+// what feeds the per-figure circuit breakers.
+
+// defaultBreakerThreshold is the consecutive-worker-death count that trips
+// a figure's circuit breaker when Runner.BreakerThreshold is unset.
+const defaultBreakerThreshold = 3
+
+// computeIsolated produces one point's result on a supervised worker. The
+// result is persisted to the disk cache exactly as computeResilient would
+// have, so isolated and in-process campaigns interoperate through the same
+// cache. Worker deaths come back as *supervisor.CrashError; a worker that
+// stayed alive and reported a point failure comes back as a plain error
+// carrying the same string the in-process path would have produced.
+func (r *Runner) computeIsolated(p Point, k pointKey) (*core.Result, int, error) {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec := pointproto.Spec{
+		Bench:     p.Bench.Name,
+		Flavor:    p.Flavor.String(),
+		Collector: p.Collector,
+		HeapMB:    p.HeapMB,
+		Platform:  p.Platform.Name,
+		S10:       p.S10,
+		FanOff:    p.FanOff,
+		Seed:      r.Seed,
+		Quick:     r.Quick,
+		Faults:    r.Faults.String(),
+		Reps:      r.Reps,
+		Retries:   r.Retries,
+	}
+	payload, err := r.Supervisor.Run(ctx, spec)
+	if err != nil {
+		if ce, ok := supervisor.AsCrash(err); ok {
+			r.Metrics.Counter("experiments.isolated.crashes").Inc()
+			return nil, 0, fmt.Errorf("experiments: %s: %w", p, ce)
+		}
+		return nil, 0, err
+	}
+	var wr workerResult
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wr); err != nil {
+		// The frame parsed but the payload did not: treat it as the
+		// protocol violation it is, so it counts as a worker death.
+		return nil, 0, fmt.Errorf("experiments: %s: %w", p,
+			&supervisor.CrashError{Kind: supervisor.CrashProtocol, Detail: "undecodable result payload: " + err.Error()})
+	}
+	if !wr.OK {
+		return nil, wr.Attempts, errors.New(wr.Err)
+	}
+	res := &core.Result{
+		Decomposition: wr.Point.Decomposition,
+		GCStats:       wr.Point.GCStats,
+		LoadedClasses: wr.Point.LoadedClasses,
+		FaultCounts:   wr.Point.FaultCounts,
+	}
+	r.storePoint(k, res)
+	r.Metrics.Counter("experiments.isolated.points").Inc()
+	return res, wr.Attempts, nil
+}
+
+// breaker returns the figure's circuit breaker, creating it on first use.
+// Breakers exist only under isolation (worker deaths are the event they
+// count); without a supervisor this returns nil and the nil-safe breaker
+// API keeps the in-process path untouched.
+func (r *Runner) breaker(fig string) *supervisor.Breaker {
+	if r.Supervisor == nil {
+		return nil
+	}
+	threshold := r.BreakerThreshold
+	if threshold == 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if threshold < 0 {
+		threshold = 0 // explicit opt-out: a breaker that never trips
+	}
+	r.breakerMu.Lock()
+	defer r.breakerMu.Unlock()
+	if r.breakers == nil {
+		r.breakers = make(map[string]*supervisor.Breaker)
+	}
+	b, ok := r.breakers[fig]
+	if !ok {
+		b = supervisor.NewBreaker(threshold)
+		r.breakers[fig] = b
+	}
+	return b
+}
+
+// BreakerTripped reports whether a figure's breaker has opened (for tests
+// and diagnostics).
+func (r *Runner) BreakerTripped(fig string) bool {
+	r.breakerMu.Lock()
+	b := r.breakers[fig]
+	r.breakerMu.Unlock()
+	return b.Tripped()
+}
+
+// observeBreaker feeds one cell outcome to the figure's breaker: only a
+// worker death (a *supervisor.CrashError anywhere in the chain) counts as
+// a failure, and any completed dispatch — success or an ordinary point
+// failure from a live worker — resets the count. The trip transition is
+// logged once, with its own metric and journal event.
+func (r *Runner) observeBreaker(b *supervisor.Breaker, fig string, err error) {
+	_, isCrash := supervisor.AsCrash(err)
+	if !b.Record(isCrash) {
+		return
+	}
+	r.Metrics.Counter("experiments.breaker.tripped").Inc()
+	r.printf("  [%s] circuit breaker open: %d consecutive worker deaths; remaining cells degrade\n",
+		fig, r.breakerThresholdEffective())
+	if r.Journal != nil {
+		_ = r.Journal.Record(FaultEvent{
+			Event:  "breaker",
+			Figure: fig,
+			Error:  fmt.Sprintf("circuit breaker open after %d consecutive worker deaths", r.breakerThresholdEffective()),
+		})
+	}
+}
+
+func (r *Runner) breakerThresholdEffective() int {
+	if r.BreakerThreshold > 0 {
+		return r.BreakerThreshold
+	}
+	return defaultBreakerThreshold
+}

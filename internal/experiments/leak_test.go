@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"jvmpower/internal/metrics"
+	"jvmpower/internal/vm"
+)
+
+// leakCheck is a goleak-style goroutine-hygiene assertion: call it before
+// the work under test and invoke the returned func after. It waits for the
+// goroutine count to return to the baseline — abandoned attempts are allowed
+// a grace period to notice cancellation and wind down — and fails with a
+// full stack dump if any goroutine outlives it.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// waitGaugeZero waits for a gauge to drain to 0.
+func waitGaugeZero(t *testing.T, reg *metrics.Registry, name string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Gauge(name).Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge %s stuck at %v", name, reg.Gauge(name).Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakAfterRunAll exercises the three abandonment paths at
+// once — per-attempt timeouts, injected faults, and mid-run cancellation —
+// and asserts goroutine hygiene afterwards: the attempts.inflight gauge
+// drains to zero (every abandoned attempt terminated rather than simulating
+// on as orphan work) and no goroutine outlives the sweep.
+func TestNoGoroutineLeakAfterRunAll(t *testing.T) {
+	check := leakCheck(t)
+
+	var buf strings.Builder
+	r := quickRunner(&buf)
+	r.Metrics = metrics.NewRegistry()
+	r.Faults = mustPlan(t, "drop=0.05,seed=2")
+	r.PointTimeout = 3 * time.Millisecond // some attempts finish, some are abandoned
+	r.Retries = -1
+	ctx, cancel := context.WithCancel(context.Background())
+	r.Ctx = ctx
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel() // abandon whatever is in flight mid-run
+	}()
+	defer cancel()
+
+	err := r.RunAll(r.jikesMatrix([]string{"SemiSpace"}))
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+
+	waitGaugeZero(t, r.Metrics, "experiments.attempts.inflight")
+	check()
+}
+
+// TestTimedOutPointTerminates is the regression test for the abandoned-
+// attempt leak: before cancellation was threaded into the VM's batch loop,
+// a timed-out attempt kept simulating to completion as orphan work. Now a
+// closed stop channel must surface vm.ErrCancelled from inside the
+// simulation in a small fraction of the point's full runtime — proof the
+// poll actually cuts the work short between bytecode segments, not merely
+// that the error is plumbed.
+func TestTimedOutPointTerminates(t *testing.T) {
+	var buf strings.Builder
+	r := NewRunner(&buf) // full-size workload: the contrast needs a point with real runtime
+	p := dbPoint(t)
+
+	t0 := time.Now()
+	if _, err := r.computeOnce(p, r.Seed, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t0)
+
+	stop := make(chan struct{})
+	close(stop) // cancelled before the first segment
+	t0 = time.Now()
+	_, err := r.computeOnce(p, r.Seed, stop)
+	cancelled := time.Since(t0)
+	if !errors.Is(err, vm.ErrCancelled) {
+		t.Fatalf("cancelled attempt returned %v, want vm.ErrCancelled", err)
+	}
+	if cancelled*5 > full {
+		t.Fatalf("cancelled attempt took %v of a %v point: cancellation is not stopping the simulation", cancelled, full)
+	}
+}

@@ -50,7 +50,7 @@ type PointEvent struct {
 	S10        bool    `json:"s10,omitempty"`
 	FanOff     bool    `json:"fan_off,omitempty"`
 	Outcome    string  `json:"outcome"` // "ok" or "error"
-	Source     string  `json:"source"`  // "computed", "disk", or "resume"
+	Source     string  `json:"source"`  // "computed", "isolated", "disk", or "resume"
 	DurationMS float64 `json:"duration_ms"`
 	Error      string  `json:"error,omitempty"`
 	// Attempts counts characterization attempts across retries and quorum
@@ -94,6 +94,11 @@ func (r *Runner) runPoint(p Point, k pointKey) (res *core.Result, err error) {
 			r.Metrics.Counter("experiments.resume.skipped").Inc()
 		}
 		return cached, nil
+	}
+	if r.Supervisor != nil {
+		source = "isolated"
+		res, attempts, err = r.computeIsolated(p, k)
+		return res, err
 	}
 	res, attempts, err = r.computeResilient(p, k)
 	return res, err

@@ -249,9 +249,17 @@ func sleepBackoff(key string, attempt int, ctx context.Context) {
 // timeout and cancellation context. With neither configured it calls the
 // attempt directly on the caller's goroutine — the default path adds no
 // goroutine, channel, or timer.
+//
+// When the guard abandons an attempt (timeout or cancellation) it closes
+// the attempt's stop channel; the VM layer polls it at segment boundaries
+// (core.RunConfig.Cancel), so the abandoned goroutine stops simulating
+// within one segment instead of running the point to completion as orphan
+// work. The experiments.attempts.inflight gauge counts guard goroutines
+// whose attempt has not yet returned — after abandoned attempts wind down
+// it reads 0.
 func (r *Runner) attemptGuarded(p Point, seed uint64, attempt int) (*core.Result, error) {
 	if r.PointTimeout <= 0 && r.Ctx == nil {
-		return r.attemptOnce(p, seed, attempt)
+		return r.attemptOnce(p, seed, attempt, nil)
 	}
 	if r.Ctx != nil {
 		if err := r.Ctx.Err(); err != nil {
@@ -262,9 +270,13 @@ func (r *Runner) attemptGuarded(p Point, seed uint64, attempt int) (*core.Result
 		res *core.Result
 		err error
 	}
+	stop := make(chan struct{})
 	ch := make(chan outcome, 1) // buffered: an abandoned attempt must not leak
+	inflight := r.Metrics.Gauge("experiments.attempts.inflight")
+	inflight.Add(1)
 	go func() {
-		res, err := r.attemptOnce(p, seed, attempt)
+		defer inflight.Add(-1)
+		res, err := r.attemptOnce(p, seed, attempt, stop)
 		ch <- outcome{res, err}
 	}()
 	var timeout <-chan time.Time
@@ -281,10 +293,12 @@ func (r *Runner) attemptGuarded(p Point, seed uint64, attempt int) (*core.Result
 	case o := <-ch:
 		return o.res, o.err
 	case <-timeout:
+		close(stop)
 		r.Metrics.Counter("experiments.points.timeouts").Inc()
 		return nil, fmt.Errorf("experiments: %s exceeded point timeout %v: %w",
 			p, r.PointTimeout, context.DeadlineExceeded)
 	case <-cancelled:
+		close(stop)
 		return nil, r.Ctx.Err()
 	}
 }
@@ -293,7 +307,7 @@ func (r *Runner) attemptGuarded(p Point, seed uint64, attempt int) (*core.Result
 // fire here, and any panic below — injected or a genuine simulator bug —
 // is recovered into the returned error so one dead point cannot take down
 // the dispatcher.
-func (r *Runner) attemptOnce(p Point, seed uint64, attempt int) (res *core.Result, err error) {
+func (r *Runner) attemptOnce(p Point, seed uint64, attempt int, stop <-chan struct{}) (res *core.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = nil
@@ -310,7 +324,7 @@ func (r *Runner) attemptOnce(p Point, seed uint64, attempt int) (res *core.Resul
 				key, attempt, &faultinject.Fault{Class: faultinject.PointFail, Site: key})
 		}
 	}
-	return r.computeOnce(p, seed)
+	return r.computeOnce(p, seed, stop)
 }
 
 // FaultRecord is one permanently failed point in a figure's fault report.
@@ -365,8 +379,22 @@ func (r *Runner) WriteFaultReport(w *os.File) {
 // tolerable failure is recorded in the fault report and returned as a nil
 // result with ok=false — the figure renders the cell missing and carries
 // on. Abortive errors propagate.
+//
+// Under isolation each figure also has a circuit breaker fed by worker
+// deaths: once the figure has lost BreakerThreshold consecutive cells to
+// crashed workers, its remaining cells degrade immediately instead of
+// feeding more points to a pool that is dying on every one — the
+// looping-forever failure mode that kills week-long campaigns.
 func (r *Runner) cell(fig string, p Point) (*core.Result, bool, error) {
+	b := r.breaker(fig)
+	if !b.Allow() {
+		r.recordFault(fig, p, fmt.Errorf("experiments: %s: circuit breaker open, cell not dispatched", fig))
+		return nil, false, nil
+	}
 	res, err := r.Run(p)
+	if b != nil {
+		r.observeBreaker(b, fig, err)
+	}
 	if err == nil {
 		return res, true, nil
 	}

@@ -132,7 +132,7 @@ func TestQuorumSelectsARealRep(t *testing.T) {
 	}
 	match := false
 	for rep := 0; rep < 3; rep++ {
-		res, err := probe.computeOnce(p, repSeed(probe.Seed, rep))
+		res, err := probe.computeOnce(p, repSeed(probe.Seed, rep), nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -120,15 +120,31 @@ type Plan struct {
 
 	rates       [nClasses]float64
 	panicPoints []string
+	hangPoints  []string
+	killPoints  []string
 }
 
 // Parse builds a Plan from a comma-separated spec of key=value pairs.
 // Keys are fault classes with rates in [0,1] ("drop=0.05"), "seed=N", or
-// "panic-point=SUBSTR" (repeatable) forcing a deterministic panic at every
-// characterization point whose identity contains SUBSTR:
+// one of the point-targeted directives (each repeatable, matching every
+// characterization point whose identity contains SUBSTR):
+//
+//   - "panic-point=SUBSTR" forces a deterministic panic on every attempt.
+//
+//   - "hang-point=SUBSTR" makes the point wedge — compute forever without
+//     producing a result or a heartbeat. Only honored by isolated workers
+//     (in-process it would genuinely wedge the dispatcher, which is the
+//     failure mode process isolation exists to contain).
+//
+//   - "kill-point=SUBSTR" makes the worker computing the point SIGKILL its
+//     own process, reproducing the kernel OOM killer's signature. Worker
+//     only, for the same reason.
+//
+// Examples:
 //
 //	drop=0.05,glitch=0.001,jitter=0.1,seed=7
 //	fail=0.2,panic-point=_213_javac/JikesRVM/SemiSpace/32MB
+//	hang-point=_202_jess,kill-point=_209_db/JikesRVM/GenMS
 //
 // An empty spec yields a disabled plan. Malformed specs return an error and
 // never panic (fuzzed).
@@ -160,10 +176,20 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faultinject: panic-point needs a point substring")
 			}
 			p.panicPoints = append(p.panicPoints, val)
+		case key == "hang-point":
+			if val == "" {
+				return nil, fmt.Errorf("faultinject: hang-point needs a point substring")
+			}
+			p.hangPoints = append(p.hangPoints, val)
+		case key == "kill-point":
+			if val == "" {
+				return nil, fmt.Errorf("faultinject: kill-point needs a point substring")
+			}
+			p.killPoints = append(p.killPoints, val)
 		default:
 			c, ok := ClassByName(key)
 			if !ok {
-				return nil, fmt.Errorf("faultinject: unknown fault class %q (have %s, seed, panic-point)",
+				return nil, fmt.Errorf("faultinject: unknown fault class %q (have %s, seed, panic-point, hang-point, kill-point)",
 					key, strings.Join(classNames[:], ", "))
 			}
 			r, err := strconv.ParseFloat(val, 64)
@@ -192,10 +218,15 @@ func (p *Plan) String() string {
 			parts = append(parts, fmt.Sprintf("%s=%v", c, p.rates[c]))
 		}
 	}
-	pts := append([]string(nil), p.panicPoints...)
-	sort.Strings(pts)
-	for _, s := range pts {
-		parts = append(parts, "panic-point="+s)
+	for _, d := range []struct {
+		key string
+		pts []string
+	}{{"panic-point", p.panicPoints}, {"hang-point", p.hangPoints}, {"kill-point", p.killPoints}} {
+		pts := append([]string(nil), d.pts...)
+		sort.Strings(pts)
+		for _, s := range pts {
+			parts = append(parts, d.key+"="+s)
+		}
 	}
 	if len(parts) == 0 {
 		return ""
@@ -219,7 +250,7 @@ func (p *Plan) Enabled() bool {
 	if p == nil {
 		return false
 	}
-	if len(p.panicPoints) > 0 {
+	if len(p.panicPoints) > 0 || len(p.hangPoints) > 0 || len(p.killPoints) > 0 {
 		return true
 	}
 	for _, r := range p.rates {
@@ -272,6 +303,30 @@ func (p *Plan) PointPanics(key string) bool {
 	}
 	r := p.rates[PointPanic]
 	return r > 0 && hash01(mix(p.Seed, hashString(key))) < r
+}
+
+// PointHangs reports whether a characterization point must wedge under this
+// plan — compute forever, sending no result and no heartbeat. Honored only
+// by isolated workers (see Parse); the supervisor's watchdog is what ends
+// it. Nil-safe.
+func (p *Plan) PointHangs(key string) bool {
+	return p != nil && containsAny(key, p.hangPoints)
+}
+
+// PointKills reports whether the worker computing a point must SIGKILL its
+// own process, simulating the kernel OOM killer taking the worker. Honored
+// only by isolated workers (see Parse). Nil-safe.
+func (p *Plan) PointKills(key string) bool {
+	return p != nil && containsAny(key, p.killPoints)
+}
+
+func containsAny(key string, subs []string) bool {
+	for _, sub := range subs {
+		if strings.Contains(key, sub) {
+			return true
+		}
+	}
+	return false
 }
 
 // PointFails reports whether one characterization attempt fails with a

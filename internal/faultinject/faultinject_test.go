@@ -13,6 +13,8 @@ func TestParseRoundTrip(t *testing.T) {
 		"drop=0.05",
 		"drop=0.05,glitch=0.001,jitter=0.1",
 		"fail=0.2,panic-point=_213_javac",
+		"hang-point=_202_jess,kill-point=_209_db/JikesRVM",
+		"panic-point=a,hang-point=b,kill-point=c,seed=3",
 		"drop=0.01,seed=42",
 		"saturate=1,gain=0.5,drift=0.25,stale=0.125,wrap=0.0625,panic=0.03125",
 	}
@@ -42,6 +44,8 @@ func TestParseRejectsMalformed(t *testing.T) {
 		"seed=-1",         // negative seed
 		"seed=abc",        // non-numeric seed
 		"panic-point=",    // empty target
+		"hang-point=",     // empty target
+		"kill-point=",     // empty target
 		"drop=0.05,,=0.1", // stray pair
 	} {
 		if _, err := Parse(spec); err == nil {
@@ -52,7 +56,8 @@ func TestParseRejectsMalformed(t *testing.T) {
 
 func TestDisabledPlanIsFree(t *testing.T) {
 	var p *Plan
-	if p.Enabled() || p.Rate(SampleDrop) != 0 || p.PointPanics("x") || p.PointFails("x", 0) {
+	if p.Enabled() || p.Rate(SampleDrop) != 0 || p.PointPanics("x") || p.PointFails("x", 0) ||
+		p.PointHangs("x") || p.PointKills("x") {
 		t.Fatal("nil plan is not fully disabled")
 	}
 	if p.Site("daq", 1, SampleDrop) != nil {
@@ -161,6 +166,33 @@ func TestPointPanicsAndFails(t *testing.T) {
 	}
 	if fails < 400 || fails > 600 {
 		t.Fatalf("fail=0.5 fired %d/1000", fails)
+	}
+}
+
+func TestWorkerDirectives(t *testing.T) {
+	p, err := Parse("hang-point=_202_jess,kill-point=_209_db/JikesRVM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Enabled() {
+		t.Fatal("plan with only worker directives reports disabled")
+	}
+	if !p.PointHangs("_202_jess/JikesRVM/GenMS/48MB@P6") {
+		t.Fatal("hang-point target did not hang")
+	}
+	if p.PointHangs("_213_javac/JikesRVM/GenMS/48MB@P6") {
+		t.Fatal("non-target point hung")
+	}
+	if !p.PointKills("_209_db/JikesRVM/SemiSpace/32MB@P6") {
+		t.Fatal("kill-point target did not kill")
+	}
+	if p.PointKills("_209_db/IBM 1.3.0 JIT/32MB@P6") {
+		t.Fatal("non-target flavor killed")
+	}
+	// The directives are orthogonal: a hang target does not kill and vice
+	// versa.
+	if p.PointKills("_202_jess/JikesRVM/GenMS/48MB@P6") || p.PointHangs("_209_db/JikesRVM/SemiSpace/32MB@P6") {
+		t.Fatal("hang and kill directives bled into each other")
 	}
 }
 

@@ -71,7 +71,9 @@ func (j *Journal) Record(event any) error {
 }
 
 // Close flushes buffered events and closes the underlying file, returning
-// the first error seen over the journal's lifetime.
+// the first error seen over the journal's lifetime. File-backed journals are
+// fsynced before close: the journal is the resume record, and a flush that
+// only reached the page cache protects against nothing a crash would do.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
@@ -80,6 +82,11 @@ func (j *Journal) Close() error {
 	defer j.mu.Unlock()
 	if err := j.buf.Flush(); err != nil && j.err == nil {
 		j.err = err
+	}
+	if f, ok := j.c.(*os.File); ok {
+		if err := f.Sync(); err != nil && j.err == nil {
+			j.err = err
+		}
 	}
 	if j.c != nil {
 		if err := j.c.Close(); err != nil && j.err == nil {

@@ -20,6 +20,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -328,17 +329,35 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteFile writes a JSON snapshot to path (the `experiments -metrics FILE`
-// exit dump).
+// exit dump). The write is atomic — temp file, sync, rename — so a crash or
+// SIGKILL mid-dump leaves the previous snapshot intact rather than a
+// truncated JSON document.
 func (r *Registry) WriteFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".metrics-*.json")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := r.WriteJSON(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Handler returns an expvar-style HTTP handler serving the live snapshot as

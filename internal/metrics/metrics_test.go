@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -168,5 +170,57 @@ func TestBucketIndexBounds(t *testing.T) {
 	}
 	if i := bucketIndex(0.75); i != histOffset {
 		t.Fatalf("bucketIndex(0.75) = %d, want %d (bucket [0.5,1))", i, histOffset)
+	}
+}
+
+// TestWriteFileAtomic pins the crash-safe snapshot contract: WriteFile
+// replaces an existing snapshot wholesale (never a partial overwrite), leaves
+// no temp droppings on success, and — when the write cannot complete — leaves
+// the previous snapshot untouched.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.Counter("a").Inc()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first, second) {
+		t.Fatal("second snapshot identical to first; overwrite did not happen")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "m.json" {
+		t.Fatalf("snapshot dir not clean after WriteFile: %v", entries)
+	}
+
+	// A target in a nonexistent directory must fail without touching the
+	// existing snapshot elsewhere.
+	if err := r.WriteFile(filepath.Join(dir, "no-such", "m.json")); err == nil {
+		t.Fatal("WriteFile into missing directory succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, second) {
+		t.Fatal("failed WriteFile disturbed the existing snapshot")
 	}
 }

@@ -1,0 +1,55 @@
+package pointproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame drives arbitrary bytes at the frame reader: it must never
+// panic or allocate proportionally to a hostile length prefix, and any
+// frame it accepts must re-encode to the bytes it consumed.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(MsgHeartbeat), 0, 0, 0, 0})
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, MsgSpec, MarshalSpec(Spec{Bench: "_209_db", Flavor: "JikesRVM", HeapMB: 64, Platform: "P6", Seed: 1}))
+	f.Add(seed.Bytes())
+	f.Add([]byte{byte(MsgResult), 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, payload); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("frame re-encode differs from consumed input")
+		}
+	})
+}
+
+// FuzzUnmarshalSpec drives arbitrary bytes at the spec decoder: no panics,
+// no hostile allocations, and accepted specs must round-trip exactly.
+func FuzzUnmarshalSpec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalSpec(Spec{}))
+	f.Add(MarshalSpec(Spec{Bench: "_213_javac", Flavor: "JikesRVM", Collector: "GenMS",
+		HeapMB: 96, Platform: "P6", Seed: 7, Quick: true, Faults: "drop=0.05", Reps: 3, Retries: 2}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSpec(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalSpec(MarshalSpec(s))
+		if err != nil {
+			t.Fatalf("accepted spec failed to round-trip: %v", err)
+		}
+		if again != s {
+			t.Fatalf("spec round-trip mismatch: %+v vs %+v", again, s)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package pointproto is the wire protocol between the experiments
+// dispatcher and its isolated point workers: length-prefixed frames over a
+// worker subprocess's stdin/stdout. The parent sends one Spec per
+// characterization point; the worker streams back Heartbeat frames while it
+// computes and one Result frame when it finishes. Process isolation is what
+// makes a genuinely hung or runaway point recoverable — the parent can
+// SIGKILL the worker and reclaim its CPU and memory, which no in-process
+// guard can do — and the protocol is deliberately tiny so the supervisor
+// can reason about every byte that crosses the boundary.
+//
+// Like internal/classfile, the decode side is treated as an untrusted-input
+// boundary (a crashed or corrupted worker can emit anything): ReadFrame and
+// UnmarshalSpec must return an error on any malformed input and never panic
+// or over-allocate, which is what the package's fuzz targets drive at them.
+package pointproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version carried in the Hello handshake; parent
+// and worker must agree exactly (they are the same binary in normal use,
+// but a stale worker on PATH must be rejected, not misparsed).
+const Version = 1
+
+// MaxPayload bounds any single frame's payload. Specs are tens of bytes
+// and results are a few kilobytes of gob; anything near the cap is a
+// corrupt length prefix.
+const MaxPayload = 1 << 24
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// The frame types.
+const (
+	// MsgHello is the worker's first frame: protocol version + PID.
+	MsgHello MsgType = 1
+	// MsgSpec is a parent->worker characterization point spec.
+	MsgSpec MsgType = 2
+	// MsgHeartbeat is a worker->parent liveness tick sent while a point
+	// computes; silence past the supervisor's watchdog budget means the
+	// worker is wedged (not merely slow — a slow worker still ticks).
+	MsgHeartbeat MsgType = 3
+	// MsgResult carries a completed point's result payload.
+	MsgResult MsgType = 4
+
+	maxMsgType = MsgResult
+)
+
+// String names the frame type for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgSpec:
+		return "spec"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgResult:
+		return "result"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// WriteFrame writes one frame: a 1-byte type, a 4-byte big-endian payload
+// length, then the payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("pointproto: %s payload %d bytes exceeds max %d", t, len(payload), MaxPayload)
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. It returns io.EOF only on a clean boundary
+// (no bytes read); a frame truncated mid-header or mid-payload is an
+// ErrUnexpectedEOF-wrapped error. Hostile lengths are rejected before any
+// allocation.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err // io.EOF here is the clean shutdown path
+	}
+	t := MsgType(hdr[0])
+	if t == 0 || t > maxMsgType {
+		return 0, nil, fmt.Errorf("pointproto: unknown frame type %d", hdr[0])
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("pointproto: truncated %s header: %w", t, eofToUnexpected(err))
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("pointproto: %s payload length %d exceeds max %d", t, n, MaxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("pointproto: truncated %s payload: %w", t, eofToUnexpected(err))
+	}
+	return t, payload, nil
+}
+
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Spec is one characterization point, serialized parent->worker: the point
+// identity plus every runner setting that determines its result. The
+// worker reconstructs a Runner from it and computes through the exact
+// resilience stack the in-process path uses, which is what makes isolated
+// and in-process runs byte-identical at the same seed.
+type Spec struct {
+	Bench     string
+	Flavor    string
+	Collector string
+	HeapMB    int
+	Platform  string
+	S10       bool
+	FanOff    bool
+
+	Seed    uint64
+	Quick   bool
+	Faults  string // canonical fault-plan spec (faultinject.Plan.String)
+	Reps    int
+	Retries int
+}
+
+// maxSpecString bounds any single encoded spec string; real benchmark and
+// platform names are tens of bytes, fault plans hundreds.
+const maxSpecString = 1 << 12
+
+// MarshalSpec encodes a spec as a compact varint stream.
+func MarshalSpec(s Spec) []byte {
+	var b []byte
+	for _, str := range []string{s.Bench, s.Flavor, s.Collector, s.Platform, s.Faults} {
+		b = binary.AppendUvarint(b, uint64(len(str)))
+		b = append(b, str...)
+	}
+	b = binary.AppendVarint(b, int64(s.HeapMB))
+	b = appendBool(b, s.S10)
+	b = appendBool(b, s.FanOff)
+	b = binary.AppendUvarint(b, s.Seed)
+	b = appendBool(b, s.Quick)
+	b = binary.AppendVarint(b, int64(s.Reps))
+	b = binary.AppendVarint(b, int64(s.Retries))
+	return b
+}
+
+// UnmarshalSpec decodes a spec, rejecting malformed or trailing input.
+func UnmarshalSpec(data []byte) (Spec, error) {
+	d := &specDecoder{buf: data}
+	var s Spec
+	s.Bench = d.str()
+	s.Flavor = d.str()
+	s.Collector = d.str()
+	s.Platform = d.str()
+	s.Faults = d.str()
+	s.HeapMB = int(d.varint())
+	s.S10 = d.bool()
+	s.FanOff = d.bool()
+	s.Seed = d.uvarint()
+	s.Quick = d.bool()
+	s.Reps = int(d.varint())
+	s.Retries = int(d.varint())
+	if d.err != nil {
+		return Spec{}, d.err
+	}
+	if d.off != len(d.buf) {
+		return Spec{}, fmt.Errorf("pointproto: spec has %d trailing bytes", len(d.buf)-d.off)
+	}
+	return s, nil
+}
+
+// Hello is the worker's handshake frame.
+type Hello struct {
+	Version uint64
+	PID     uint64
+}
+
+// MarshalHello encodes a handshake.
+func MarshalHello(h Hello) []byte {
+	b := binary.AppendUvarint(nil, h.Version)
+	return binary.AppendUvarint(b, h.PID)
+}
+
+// UnmarshalHello decodes a handshake.
+func UnmarshalHello(data []byte) (Hello, error) {
+	d := &specDecoder{buf: data}
+	h := Hello{Version: d.uvarint(), PID: d.uvarint()}
+	if d.err != nil {
+		return Hello{}, d.err
+	}
+	if d.off != len(d.buf) {
+		return Hello{}, fmt.Errorf("pointproto: hello has %d trailing bytes", len(d.buf)-d.off)
+	}
+	return h, nil
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// specDecoder consumes the varint stream with a sticky error, mirroring
+// the classfile codec's decoder.
+type specDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *specDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("pointproto: offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *specDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *specDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *specDecoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated")
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	if b > 1 {
+		d.fail("bool %d", b)
+		return false
+	}
+	return b == 1
+}
+
+func (d *specDecoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxSpecString || n > uint64(len(d.buf)-d.off) {
+		d.fail("string length %d", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

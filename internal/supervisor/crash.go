@@ -1,0 +1,99 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Crash classification. When a worker dies, the supervisor reduces the exit
+// evidence — wait status, whether we initiated the kill, whether a memory
+// ceiling was set, what the protocol reader saw — to one CrashKind. The
+// taxonomy drives three consumers: the per-kind metrics counters, the fault
+// report's error strings, and the circuit breaker (every kind counts as a
+// worker death).
+
+// CrashKind is the classified cause of a worker death.
+type CrashKind uint8
+
+// The crash kinds.
+const (
+	// CrashSpawn: the worker process could not be started or never
+	// completed the protocol handshake.
+	CrashSpawn CrashKind = iota
+	// CrashExit: the worker exited on its own with a nonzero status (a
+	// panic that escaped the point guard, os.Exit in a dependency, a
+	// corrupted runtime).
+	CrashExit
+	// CrashSignal: the worker was killed by a signal the supervisor did
+	// not send (SIGSEGV from a cgo bug, an operator's kill).
+	CrashSignal
+	// CrashOOM: the worker died by SIGKILL that the supervisor did not
+	// send — on Linux the kernel OOM killer's signature, and the expected
+	// outcome when a runaway point exhausts the worker's memory ceiling.
+	CrashOOM
+	// CrashProtocol: the worker wrote bytes that do not parse as frames,
+	// exited cleanly mid-point, or spoke the wrong protocol version.
+	CrashProtocol
+	// CrashTimeout: the point exceeded its wall-time budget and the
+	// supervisor killed the worker to reclaim its CPU and memory.
+	CrashTimeout
+	// CrashHang: the worker went silent — no heartbeat or result within
+	// the watchdog budget — and the supervisor killed it. Distinct from
+	// CrashTimeout: a hung worker is wedged (deadlock, livelock, stuck
+	// syscall), not merely slow.
+	CrashHang
+
+	nCrashKinds
+)
+
+var crashKindNames = [nCrashKinds]string{
+	"spawn", "exit", "signal", "oom", "protocol", "timeout", "hang",
+}
+
+// String returns the kind's metrics/reporting key.
+func (k CrashKind) String() string {
+	if int(k) < len(crashKindNames) {
+		return crashKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// CrashError reports one classified worker death. It is the error the
+// experiments dispatcher receives for an isolated point whose worker died;
+// errors.As against it is how callers distinguish worker deaths (which
+// feed circuit breakers) from ordinary point failures (which do not).
+type CrashError struct {
+	// Kind is the classified cause.
+	Kind CrashKind
+	// ExitCode is the worker's exit status when Kind is CrashExit.
+	ExitCode int
+	// Signal names the fatal signal when Kind is CrashSignal or CrashOOM.
+	Signal string
+	// Detail carries the human-readable evidence (wait status, protocol
+	// error, budget exceeded).
+	Detail string
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	msg := fmt.Sprintf("supervisor: worker crash (%s)", e.Kind)
+	switch e.Kind {
+	case CrashExit:
+		msg = fmt.Sprintf("supervisor: worker exited with status %d", e.ExitCode)
+	case CrashSignal:
+		msg = fmt.Sprintf("supervisor: worker killed by signal %s", e.Signal)
+	case CrashOOM:
+		msg = fmt.Sprintf("supervisor: worker killed by un-requested %s (kernel OOM kill signature)", e.Signal)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// AsCrash extracts a CrashError from an error chain.
+func AsCrash(err error) (*CrashError, bool) {
+	var ce *CrashError
+	ok := errors.As(err, &ce)
+	return ce, ok
+}

@@ -1,0 +1,444 @@
+// Package supervisor runs characterization points in supervised worker
+// subprocesses. The parent serializes each point spec over the pointproto
+// framed protocol to a pooled worker, and the worker streams heartbeats
+// while it computes and a result frame when it finishes. Because the worker
+// is a real process, every failure mode the in-process dispatcher can only
+// abandon becomes recoverable here: a point that exceeds its budget is
+// SIGKILLed and its CPU and heap actually come back; a wedged worker is
+// detected by heartbeat silence and killed; a runaway allocation hits the
+// worker's GOMEMLIMIT ceiling and, at worst, the kernel OOM killer takes
+// the worker — not the campaign. Every death is classified (see crash.go),
+// counted, and followed by a restart with exponential backoff and
+// deterministic jitter.
+//
+// The supervisor is deliberately ignorant of what a point is: it moves
+// opaque spec and result payloads. The experiments package owns both ends'
+// semantics, which keeps this package dependency-free above the protocol
+// and metrics layers.
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"jvmpower/internal/metrics"
+	"jvmpower/internal/pointproto"
+)
+
+// Config describes a worker pool.
+type Config struct {
+	// Argv is the worker command line (argv[0] is the binary). Required.
+	// In production this is the experiments binary re-invoked with
+	// -worker; tests point it at helper processes.
+	Argv []string
+	// Env lists extra KEY=VALUE entries appended to the parent's
+	// environment for each worker.
+	Env []string
+	// Workers is the pool size. Defaults to 1.
+	Workers int
+	// PointTimeout bounds one point's wall time, heartbeats or not; on
+	// expiry the worker is SIGKILLed (CrashTimeout). 0 disables it.
+	PointTimeout time.Duration
+	// HeartbeatTimeout is the silence budget: a worker that sends no
+	// frame for this long while a point is in flight is considered wedged
+	// and SIGKILLed (CrashHang). Defaults to 2s.
+	HeartbeatTimeout time.Duration
+	// SpawnTimeout bounds process start to protocol handshake. Defaults
+	// to 10s.
+	SpawnTimeout time.Duration
+	// MemLimit, when non-empty, is exported to each worker as GOMEMLIMIT
+	// (e.g. "512MiB"): the worker's runtime then treats it as a soft
+	// ceiling, and a point that blows far past it meets the kernel OOM
+	// killer in its own process instead of taking the campaign down.
+	MemLimit string
+	// Metrics, when non-nil, receives the supervisor.* instrument family
+	// (spawns, restarts, per-kind crashes, completed points, heartbeats).
+	Metrics *metrics.Registry
+	// Stderr receives worker stderr (diagnostics, fault-plan banners).
+	// Defaults to the parent's stderr.
+	Stderr io.Writer
+}
+
+// Backoff schedule for worker restarts: restart n waits
+// restartBackoffBase<<n (capped) scaled by a deterministic jitter in
+// [0.5, 1.5), mirroring the dispatcher's retry backoff so a crashing
+// campaign replays its schedule exactly.
+const (
+	restartBackoffBase = 25 * time.Millisecond
+	restartBackoffMax  = 2 * time.Second
+)
+
+// Supervisor owns a pool of worker subprocesses.
+type Supervisor struct {
+	cfg    Config
+	slots  chan *slot
+	closed chan struct{}
+	once   sync.Once
+}
+
+// slot is one pool position: a live worker, or the obligation to spawn one
+// (w == nil), plus the restart history that paces respawns.
+type slot struct {
+	id       int
+	restarts int
+	w        *worker
+}
+
+// worker is one live subprocess with its protocol plumbing.
+type worker struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	frames chan frame
+	// killed records that the supervisor initiated the kill — the bit
+	// that separates our SIGKILL (timeout, hang, shutdown) from the
+	// kernel's (OOM).
+	killed bool
+	// reaped latches the first reap's wait status: reap is called from
+	// both crash classification and slot teardown, and exec.Cmd.Wait is
+	// single-shot.
+	reaped bool
+	status string
+}
+
+// frame is one parsed protocol frame, or the reader's terminal error.
+type frame struct {
+	typ     pointproto.MsgType
+	payload []byte
+	err     error
+}
+
+// New validates the config and builds the pool. Workers are spawned
+// lazily, on first use of each slot, so constructing a supervisor for a
+// run that ends up serving every point from cache costs nothing.
+func New(cfg Config) (*Supervisor, error) {
+	if len(cfg.Argv) == 0 {
+		return nil, fmt.Errorf("supervisor: Config.Argv is required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	if cfg.SpawnTimeout <= 0 {
+		cfg.SpawnTimeout = 10 * time.Second
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+	s := &Supervisor{
+		cfg:    cfg,
+		slots:  make(chan *slot, cfg.Workers),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.slots <- &slot{id: i}
+	}
+	return s, nil
+}
+
+// Run executes one point spec on a pooled worker and returns the opaque
+// result payload. Worker deaths come back as *CrashError (the worker is
+// restarted with backoff on the slot's next use); context cancellation
+// kills the in-flight worker and returns the context's error.
+func (s *Supervisor) Run(ctx context.Context, spec pointproto.Spec) ([]byte, error) {
+	var sl *slot
+	select {
+	case sl = <-s.slots:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.closed:
+		return nil, fmt.Errorf("supervisor: closed")
+	}
+	defer func() { s.slots <- sl }()
+
+	if sl.w == nil {
+		if err := s.respawn(ctx, sl); err != nil {
+			return nil, err
+		}
+	}
+	payload, err := s.runOn(ctx, sl.w, spec)
+	if err != nil {
+		var ce *CrashError
+		if errors.As(err, &ce) {
+			s.cfg.Metrics.Counter("supervisor.crashes." + ce.Kind.String()).Inc()
+			s.cfg.Metrics.Counter("supervisor.restarts").Inc()
+			sl.restarts++
+		}
+		s.destroy(sl)
+		return nil, err
+	}
+	sl.restarts = 0
+	s.cfg.Metrics.Counter("supervisor.points.ok").Inc()
+	return payload, nil
+}
+
+// Close kills every worker and fails all subsequent Runs. In-flight Runs
+// finish (their slots return to the pool and are then drained and killed).
+func (s *Supervisor) Close() {
+	s.once.Do(func() {
+		close(s.closed)
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.destroy(<-s.slots)
+		}
+	})
+}
+
+// respawn waits out the slot's backoff and starts a fresh worker,
+// completing the protocol handshake before the slot is considered live.
+func (s *Supervisor) respawn(ctx context.Context, sl *slot) error {
+	if sl.restarts > 0 {
+		sleepCtx(ctx, restartBackoff(sl.id, sl.restarts))
+	}
+	w, err := s.spawn(ctx)
+	if err != nil {
+		// A cancelled context is the caller's doing, not a worker death;
+		// only genuine spawn failures advance the backoff schedule.
+		if _, ok := AsCrash(err); ok {
+			sl.restarts++
+			s.cfg.Metrics.Counter("supervisor.crashes." + CrashSpawn.String()).Inc()
+		}
+		return err
+	}
+	sl.w = w
+	return nil
+}
+
+// restartBackoff returns restart n's delay: base<<n capped, scaled by a
+// deterministic jitter in [0.5, 1.5) hashed from (slot, attempt).
+func restartBackoff(slotID, restarts int) time.Duration {
+	d := restartBackoffBase << uint(restarts-1)
+	if d > restartBackoffMax || d <= 0 {
+		d = restartBackoffMax
+	}
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(slotID)) * 1099511628211
+	h = (h ^ uint64(restarts)) * 1099511628211
+	jitter := 0.5 + float64(h>>11)/float64(1<<53)
+	return time.Duration(float64(d) * jitter)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// spawn starts one worker process and consumes its Hello frame.
+func (s *Supervisor) spawn(ctx context.Context) (*worker, error) {
+	cmd := exec.Command(s.cfg.Argv[0], s.cfg.Argv[1:]...)
+	cmd.Env = append(os.Environ(), s.cfg.Env...)
+	if s.cfg.MemLimit != "" {
+		cmd.Env = append(cmd.Env, "GOMEMLIMIT="+s.cfg.MemLimit)
+	}
+	cmd.Stderr = s.cfg.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, &CrashError{Kind: CrashSpawn, Detail: err.Error()}
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, &CrashError{Kind: CrashSpawn, Detail: err.Error()}
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, &CrashError{Kind: CrashSpawn, Detail: err.Error()}
+	}
+	s.cfg.Metrics.Counter("supervisor.spawns").Inc()
+	w := &worker{cmd: cmd, stdin: stdin, frames: make(chan frame, 4)}
+	go readFrames(stdout, w.frames)
+
+	// The handshake has its own deadline: a worker that starts but never
+	// speaks (bad binary, wedged init) must not stall the pool.
+	hello := time.NewTimer(s.cfg.SpawnTimeout)
+	defer hello.Stop()
+	select {
+	case fr, ok := <-w.frames:
+		if !ok || fr.err != nil {
+			w.reap()
+			return nil, &CrashError{Kind: CrashSpawn, Detail: "worker died during handshake: " + frameErr(fr)}
+		}
+		if fr.typ != pointproto.MsgHello {
+			w.kill()
+			w.reap()
+			return nil, &CrashError{Kind: CrashSpawn, Detail: fmt.Sprintf("worker's first frame was %s, want hello", fr.typ)}
+		}
+		h, err := pointproto.UnmarshalHello(fr.payload)
+		if err != nil {
+			w.kill()
+			w.reap()
+			return nil, &CrashError{Kind: CrashSpawn, Detail: "bad hello: " + err.Error()}
+		}
+		if h.Version != pointproto.Version {
+			w.kill()
+			w.reap()
+			return nil, &CrashError{Kind: CrashSpawn,
+				Detail: fmt.Sprintf("worker speaks protocol v%d, parent v%d", h.Version, pointproto.Version)}
+		}
+		return w, nil
+	case <-hello.C:
+		w.kill()
+		w.reap()
+		return nil, &CrashError{Kind: CrashSpawn, Detail: fmt.Sprintf("no handshake within %v", s.cfg.SpawnTimeout)}
+	case <-ctx.Done():
+		w.kill()
+		w.reap()
+		return nil, ctx.Err()
+	}
+}
+
+func frameErr(fr frame) string {
+	if fr.err != nil {
+		return fr.err.Error()
+	}
+	return "stream closed"
+}
+
+// readFrames is each worker's persistent stdout reader: it feeds parsed
+// frames to the supervisor and exits (closing the channel) on the first
+// error — which is how worker death reaches the dispatch loop, since the
+// process exiting closes its stdout pipe.
+func readFrames(r io.Reader, out chan<- frame) {
+	defer close(out)
+	for {
+		typ, payload, err := pointproto.ReadFrame(r)
+		if err != nil {
+			if err != io.EOF {
+				out <- frame{err: err}
+			}
+			return
+		}
+		out <- frame{typ: typ, payload: payload}
+	}
+}
+
+// runOn drives one point through a live worker: send the spec, then wait
+// on the result against three clocks — the point budget, the heartbeat
+// watchdog, and the caller's context.
+func (s *Supervisor) runOn(ctx context.Context, w *worker, spec pointproto.Spec) ([]byte, error) {
+	if err := pointproto.WriteFrame(w.stdin, pointproto.MsgSpec, pointproto.MarshalSpec(spec)); err != nil {
+		return nil, s.classifyDeath(w, fmt.Errorf("writing spec: %w", err))
+	}
+	var pointC <-chan time.Time
+	if s.cfg.PointTimeout > 0 {
+		t := time.NewTimer(s.cfg.PointTimeout)
+		defer t.Stop()
+		pointC = t.C
+	}
+	watchdog := time.NewTimer(s.cfg.HeartbeatTimeout)
+	defer watchdog.Stop()
+	for {
+		select {
+		case fr, ok := <-w.frames:
+			if !ok {
+				return nil, s.classifyDeath(w, nil)
+			}
+			if fr.err != nil {
+				w.kill()
+				return nil, s.classifyDeath(w, fr.err)
+			}
+			switch fr.typ {
+			case pointproto.MsgHeartbeat:
+				s.cfg.Metrics.Counter("supervisor.heartbeats").Inc()
+				if !watchdog.Stop() {
+					<-watchdog.C
+				}
+				watchdog.Reset(s.cfg.HeartbeatTimeout)
+			case pointproto.MsgResult:
+				return fr.payload, nil
+			default:
+				w.kill()
+				return nil, s.classifyDeath(w, fmt.Errorf("unexpected %s frame mid-point", fr.typ))
+			}
+		case <-pointC:
+			w.kill()
+			return nil, &CrashError{Kind: CrashTimeout,
+				Detail: fmt.Sprintf("point exceeded %v budget; worker killed (%s)", s.cfg.PointTimeout, w.reap())}
+		case <-watchdog.C:
+			w.kill()
+			return nil, &CrashError{Kind: CrashHang,
+				Detail: fmt.Sprintf("no heartbeat for %v; worker killed (%s)", s.cfg.HeartbeatTimeout, w.reap())}
+		case <-ctx.Done():
+			w.kill()
+			w.reap()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// classifyDeath reaps an unexpectedly dead (or protocol-broken) worker and
+// reduces the evidence to a CrashError. protoErr carries what the reader
+// saw, if the stream died with a parse error rather than EOF.
+func (s *Supervisor) classifyDeath(w *worker, protoErr error) *CrashError {
+	status := w.reap()
+	if protoErr != nil {
+		return &CrashError{Kind: CrashProtocol, Detail: fmt.Sprintf("%v (%s)", protoErr, status)}
+	}
+	state := w.cmd.ProcessState
+	if state == nil {
+		return &CrashError{Kind: CrashProtocol, Detail: "worker vanished without wait status"}
+	}
+	if ws, ok := state.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+		sig := ws.Signal()
+		if sig == syscall.SIGKILL && !w.killed {
+			detail := "no SIGKILL sent by supervisor"
+			if s.cfg.MemLimit != "" {
+				detail += "; memory ceiling GOMEMLIMIT=" + s.cfg.MemLimit + " was set"
+			}
+			return &CrashError{Kind: CrashOOM, Signal: sig.String(), Detail: detail}
+		}
+		return &CrashError{Kind: CrashSignal, Signal: sig.String()}
+	}
+	if code := state.ExitCode(); code != 0 {
+		return &CrashError{Kind: CrashExit, ExitCode: code}
+	}
+	return &CrashError{Kind: CrashProtocol, Detail: "worker exited cleanly mid-point"}
+}
+
+// destroy kills and reaps a slot's worker (if any) and leaves the slot in
+// the needs-spawn state.
+func (s *Supervisor) destroy(sl *slot) {
+	if sl.w == nil {
+		return
+	}
+	sl.w.kill()
+	sl.w.reap()
+	sl.w = nil
+}
+
+// kill SIGKILLs the worker, recording that the supervisor did it.
+func (w *worker) kill() {
+	w.killed = true
+	_ = w.cmd.Process.Kill()
+}
+
+// reap waits out the dead process (closing its pipes unblocks the reader
+// goroutine), drains remaining frames, and returns the wait status text.
+// Idempotent: later calls return the latched status.
+func (w *worker) reap() string {
+	if w.reaped {
+		return w.status
+	}
+	w.reaped = true
+	_ = w.stdin.Close()
+	err := w.cmd.Wait()
+	for range w.frames {
+		// drain until the reader closes the channel; without this a frame
+		// in flight at kill time would strand the reader goroutine.
+	}
+	if err != nil {
+		w.status = err.Error()
+	} else {
+		w.status = "exit status 0"
+	}
+	return w.status
+}

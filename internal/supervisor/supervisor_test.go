@@ -1,0 +1,332 @@
+package supervisor
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"jvmpower/internal/metrics"
+	"jvmpower/internal/pointproto"
+)
+
+// The supervisor is tested against real subprocesses: when the test binary
+// is re-invoked with SUPERVISOR_FAKE_WORKER set, TestMain runs a scripted
+// worker instead of the tests. The script is chosen per point by the
+// spec's Bench field, so one pool can be driven through every failure mode
+// and its recovery.
+func TestMain(m *testing.M) {
+	switch os.Getenv("SUPERVISOR_FAKE_WORKER") {
+	case "":
+		os.Exit(m.Run())
+	case "scripted":
+		fakeWorker()
+	case "badversion":
+		w := bufio.NewWriter(os.Stdout)
+		_ = pointproto.WriteFrame(w, pointproto.MsgHello,
+			pointproto.MarshalHello(pointproto.Hello{Version: 99, PID: uint64(os.Getpid())}))
+		_ = w.Flush()
+		time.Sleep(time.Minute)
+	}
+	os.Exit(0)
+}
+
+// fakeWorker speaks the protocol and misbehaves on demand.
+func fakeWorker() {
+	out := os.Stdout
+	if err := pointproto.WriteFrame(out, pointproto.MsgHello,
+		pointproto.MarshalHello(pointproto.Hello{Version: pointproto.Version, PID: uint64(os.Getpid())})); err != nil {
+		os.Exit(1)
+	}
+	in := bufio.NewReader(os.Stdin)
+	for {
+		typ, payload, err := pointproto.ReadFrame(in)
+		if err == io.EOF {
+			return
+		}
+		if err != nil || typ != pointproto.MsgSpec {
+			os.Exit(1)
+		}
+		spec, err := pointproto.UnmarshalSpec(payload)
+		if err != nil {
+			os.Exit(1)
+		}
+		switch spec.Bench {
+		case "ok":
+			_ = pointproto.WriteFrame(out, pointproto.MsgHeartbeat, nil)
+			_ = pointproto.WriteFrame(out, pointproto.MsgResult, []byte(spec.Collector))
+		case "slow":
+			// Alive but never done: heartbeats tick, the result never
+			// comes. Only the point budget can stop this one.
+			for {
+				_ = pointproto.WriteFrame(out, pointproto.MsgHeartbeat, nil)
+				time.Sleep(10 * time.Millisecond)
+			}
+		case "silent":
+			// Wedged: no heartbeat, no result, no exit.
+			for {
+				time.Sleep(time.Hour)
+			}
+		case "die":
+			os.Exit(3)
+		case "sigkill":
+			// The kernel OOM killer's signature: a SIGKILL the supervisor
+			// did not send.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			time.Sleep(time.Minute)
+		case "garbage":
+			_, _ = out.Write([]byte{0xFF, 0xFE, 0xFD, 0xFC, 0xFB, 0xFA, 0xF9, 0xF8})
+			time.Sleep(time.Minute)
+		case "cleanexit":
+			os.Exit(0)
+		default:
+			os.Exit(1)
+		}
+	}
+}
+
+func testSupervisor(t *testing.T, mutate func(*Config)) (*Supervisor, *metrics.Registry) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cfg := Config{
+		Argv:    []string{exe},
+		Env:     []string{"SUPERVISOR_FAKE_WORKER=scripted"},
+		Workers: 1,
+		// Race-instrumented binaries hold their pipes for ~1s of runtime
+		// shutdown after os.Exit, so a watchdog near 1s would misread a
+		// clean worker exit as a hang under -race. Tests that want the
+		// watchdog to fire use a worker that never exits ("silent") and
+		// shrink this themselves.
+		HeartbeatTimeout: 5 * time.Second,
+		SpawnTimeout:     10 * time.Second,
+		Metrics:          reg,
+		Stderr:           io.Discard,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, reg
+}
+
+func run(t *testing.T, s *Supervisor, bench, echo string) ([]byte, error) {
+	t.Helper()
+	return s.Run(context.Background(), pointproto.Spec{Bench: bench, Collector: echo})
+}
+
+// mustCrash runs a misbehaving spec and returns its classified crash.
+func mustCrash(t *testing.T, s *Supervisor, bench string) *CrashError {
+	t.Helper()
+	_, err := run(t, s, bench, "")
+	if err == nil {
+		t.Fatalf("%s worker reported success", bench)
+	}
+	ce, ok := AsCrash(err)
+	if !ok {
+		t.Fatalf("%s worker error %v is not a CrashError", bench, err)
+	}
+	return ce
+}
+
+// mustOK asserts the pool (re)serves a healthy point — the recovery check
+// after every induced crash.
+func mustOK(t *testing.T, s *Supervisor, echo string) {
+	t.Helper()
+	payload, err := run(t, s, "ok", echo)
+	if err != nil {
+		t.Fatalf("healthy point after crash: %v", err)
+	}
+	if string(payload) != echo {
+		t.Fatalf("payload = %q, want %q", payload, echo)
+	}
+}
+
+// TestRunsPoints drives healthy points through a two-worker pool and
+// checks payloads and instruments.
+func TestRunsPoints(t *testing.T) {
+	s, reg := testSupervisor(t, func(c *Config) { c.Workers = 2 })
+	for i := 0; i < 5; i++ {
+		mustOK(t, s, fmt.Sprintf("point-%d", i))
+	}
+	if n := reg.Counter("supervisor.points.ok").Value(); n != 5 {
+		t.Fatalf("points.ok = %d, want 5", n)
+	}
+	if reg.Counter("supervisor.heartbeats").Value() == 0 {
+		t.Fatal("no heartbeats observed")
+	}
+	if reg.Counter("supervisor.spawns").Value() > 2 {
+		t.Fatal("healthy pool respawned workers")
+	}
+}
+
+// TestTimeoutKillsRunawayWorker: a worker that heartbeats forever but
+// never finishes must die at the point budget — the failure mode the
+// in-process dispatcher can only abandon — and the pool must recover.
+func TestTimeoutKillsRunawayWorker(t *testing.T) {
+	s, reg := testSupervisor(t, func(c *Config) { c.PointTimeout = 150 * time.Millisecond })
+	ce := mustCrash(t, s, "slow")
+	if ce.Kind != CrashTimeout {
+		t.Fatalf("kind = %s, want timeout", ce.Kind)
+	}
+	mustOK(t, s, "recovered")
+	if reg.Counter("supervisor.crashes.timeout").Value() != 1 {
+		t.Fatal("timeout crash not counted")
+	}
+	if reg.Counter("supervisor.restarts").Value() != 1 {
+		t.Fatal("restart not counted")
+	}
+}
+
+// TestHeartbeatWatchdogCatchesSilentHang: a wedged worker (no frames at
+// all) dies at the heartbeat budget, classified as a hang, and the pool
+// recovers.
+func TestHeartbeatWatchdogCatchesSilentHang(t *testing.T) {
+	s, _ := testSupervisor(t, func(c *Config) { c.HeartbeatTimeout = 100 * time.Millisecond })
+	ce := mustCrash(t, s, "silent")
+	if ce.Kind != CrashHang {
+		t.Fatalf("kind = %s, want hang", ce.Kind)
+	}
+	mustOK(t, s, "recovered")
+}
+
+// TestCrashClassification walks the remaining taxonomy: nonzero exit,
+// un-requested SIGKILL (the OOM signature), protocol garbage, and a clean
+// exit mid-point.
+func TestCrashClassification(t *testing.T) {
+	s, _ := testSupervisor(t, func(c *Config) { c.MemLimit = "1GiB" })
+	ce := mustCrash(t, s, "die")
+	if ce.Kind != CrashExit || ce.ExitCode != 3 {
+		t.Fatalf("die: kind=%s code=%d, want exit/3", ce.Kind, ce.ExitCode)
+	}
+	mustOK(t, s, "after-exit")
+
+	ce = mustCrash(t, s, "sigkill")
+	if ce.Kind != CrashOOM {
+		t.Fatalf("sigkill: kind = %s, want oom", ce.Kind)
+	}
+	if ce.Signal != syscall.SIGKILL.String() {
+		t.Fatalf("sigkill: signal = %q", ce.Signal)
+	}
+	mustOK(t, s, "after-oom")
+
+	ce = mustCrash(t, s, "garbage")
+	if ce.Kind != CrashProtocol {
+		t.Fatalf("garbage: kind = %s, want protocol", ce.Kind)
+	}
+	mustOK(t, s, "after-garbage")
+
+	ce = mustCrash(t, s, "cleanexit")
+	if ce.Kind != CrashProtocol {
+		t.Fatalf("cleanexit: kind = %s, want protocol (%v)", ce.Kind, ce)
+	}
+	mustOK(t, s, "after-cleanexit")
+}
+
+// TestVersionMismatchIsSpawnFailure: a worker speaking the wrong protocol
+// version is rejected at handshake, before any spec reaches it.
+func TestVersionMismatchIsSpawnFailure(t *testing.T) {
+	s, _ := testSupervisor(t, func(c *Config) {
+		c.Env = []string{"SUPERVISOR_FAKE_WORKER=badversion"}
+	})
+	ce := mustCrash(t, s, "ok")
+	if ce.Kind != CrashSpawn {
+		t.Fatalf("kind = %s, want spawn", ce.Kind)
+	}
+}
+
+// TestContextCancelKillsWorker: cancelling the run context mid-point kills
+// the worker and surfaces the context error, not a crash.
+func TestContextCancelKillsWorker(t *testing.T) {
+	s, _ := testSupervisor(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := s.Run(ctx, pointproto.Spec{Bench: "silent"})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	mustOK(t, s, "after-cancel")
+}
+
+// TestCloseStopsPool: Close kills the workers and fails later Runs.
+func TestCloseStopsPool(t *testing.T) {
+	s, _ := testSupervisor(t, nil)
+	mustOK(t, s, "before-close")
+	s.Close()
+	if _, err := run(t, s, "ok", "x"); err == nil {
+		t.Fatal("Run succeeded after Close")
+	}
+}
+
+// TestRestartBackoffDeterministic: the backoff schedule is a pure function
+// of (slot, attempt) — campaigns replay their restart timing exactly — and
+// grows until the cap.
+func TestRestartBackoffDeterministic(t *testing.T) {
+	for slot := 0; slot < 3; slot++ {
+		prev := time.Duration(0)
+		for n := 1; n < 12; n++ {
+			d := restartBackoff(slot, n)
+			if d != restartBackoff(slot, n) {
+				t.Fatal("backoff is nondeterministic")
+			}
+			if d <= 0 || d > 2*restartBackoffMax {
+				t.Fatalf("backoff(%d,%d) = %v out of range", slot, n, d)
+			}
+			if n > 1 && prev > 0 && d > 4*prev+restartBackoffMax {
+				t.Fatalf("backoff not bounded: %v after %v", d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestBreaker exercises the consecutive-failure contract: successes reset,
+// the Kth consecutive failure trips exactly once, and a tripped breaker
+// stays open.
+func TestBreaker(t *testing.T) {
+	b := NewBreaker(3)
+	b.Record(true)
+	b.Record(true)
+	b.Record(false) // success resets
+	if b.Tripped() {
+		t.Fatal("tripped below threshold")
+	}
+	b.Record(true)
+	b.Record(true)
+	if tripped := b.Record(true); !tripped {
+		t.Fatal("third consecutive failure did not report the trip")
+	}
+	if b.Record(true) {
+		t.Fatal("trip reported twice")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed an operation")
+	}
+	b.Record(false)
+	if b.Allow() {
+		t.Fatal("open breaker reopened on success: no half-open state exists")
+	}
+
+	var nb *Breaker
+	if !nb.Allow() || nb.Record(true) || nb.Tripped() {
+		t.Fatal("nil breaker must be a no-op that always allows")
+	}
+	off := NewBreaker(0)
+	for i := 0; i < 100; i++ {
+		off.Record(true)
+	}
+	if off.Tripped() {
+		t.Fatal("threshold 0 breaker tripped")
+	}
+}

@@ -105,6 +105,9 @@ func (v *VM) RunProfile(p BehaviorProfile) error {
 	var mutAcc float64
 
 	for seg := int64(0); seg < nSeg; seg++ {
+		if v.cancelRequested() {
+			return ErrCancelled
+		}
 		if seg > 0 && seg <= int64(rampSegs) {
 			rampAcc += rampPerSeg
 			n := int(rampAcc)

@@ -15,6 +15,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 
 	"jvmpower/internal/classfile"
@@ -69,6 +70,12 @@ type Config struct {
 // DefaultHotThreshold is the AOS hotness threshold in executed bytecodes.
 const DefaultHotThreshold = 220_000
 
+// ErrCancelled is returned by RunProfile when the run's cancel channel
+// closes between segments. A cancelled run produced no usable result; the
+// dispatcher that requested the cancellation discards it rather than
+// recording a fault.
+var ErrCancelled = errors.New("vm: run cancelled")
+
 // VM is one virtual machine instance bound to a program and an executor.
 type VM struct {
 	cfg    Config
@@ -111,6 +118,10 @@ type VM struct {
 
 	// gcEmitted counts collection reports converted to slices.
 	gcEmitted int64
+
+	// cancel, when non-nil, is polled between execution segments; closing
+	// it makes RunProfile return ErrCancelled at the next segment boundary.
+	cancel <-chan struct{}
 }
 
 // New builds a VM for prog, wiring its collector's collection reports and
@@ -179,6 +190,26 @@ func New(cfg Config, prog *classfile.Program, exec Executor) (*VM, error) {
 	}
 	v.col = col
 	return v, nil
+}
+
+// SetCancel installs a cancellation channel. The batch engine polls it at
+// every segment boundary, so a run whose caller has given up (a timed-out
+// attempt, a shutting-down campaign) stops within one segment (~100k
+// bytecodes) instead of simulating to completion as abandoned work. A nil
+// channel (the default) keeps the poll on its zero-cost path.
+func (v *VM) SetCancel(ch <-chan struct{}) { v.cancel = ch }
+
+// cancelRequested reports whether the cancel channel has closed.
+func (v *VM) cancelRequested() bool {
+	if v.cancel == nil {
+		return false
+	}
+	select {
+	case <-v.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Collector exposes the collector (stats, locality) to callers.
