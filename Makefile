@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci fuzz fuzz-smoke bench bench-overhead bench-faults bench-isolate
+.PHONY: build test vet race check ci fuzz fuzz-smoke bench bench-overhead bench-faults bench-isolate bench-memo bench-smoke
 
 build:
 	$(GO) build ./...
@@ -64,3 +64,18 @@ bench-faults:
 # frozen PR 3 baseline (both budgets <1%).
 bench-isolate:
 	./bench.sh BENCH_4.json isolate
+
+# bench-memo regenerates BENCH_5.json: the sweep-fork memoization speedup
+# on the Fig. 7 hot path, measured as medians with min/max spread against
+# the frozen BENCH_4 median (acceptance floor 2x).
+bench-memo:
+	./bench.sh BENCH_5.json memo
+
+# bench-smoke is the CI-sized benchmark gate: one repetition of the Fig. 7
+# benchmark bare and with the memo store enabled. It is a correctness
+# check, not a timing claim — the memo variant fails the run unless the
+# store actually hits — so it is the one benchmark target CI runs. The CPU
+# profile lands in bench-smoke.prof (with the test binary kept alongside
+# for `go tool pprof`) and CI uploads both as an artifact.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7EDP$$|BenchmarkFig7EDPMemo$$' -benchmem -count=1 -cpuprofile bench-smoke.prof .

@@ -139,6 +139,28 @@ func BenchmarkFig7EDPIsolateOff(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7EDPMemo regenerates Figure 7 with sweep-fork memoization
+// enabled: each (benchmark, collector) heap sweep runs its largest-heap
+// point first as the recording leader and forks the remaining points from
+// the recorded shared execution prefix (vm/memo.go). The delta against
+// BenchmarkFig7EDP is the memoization win on the hottest figure path;
+// bench.sh's memo mode records both in BENCH_5.json. The iteration fails
+// if the store never hits — the speedup must come from real prefix reuse,
+// not a silently disabled path.
+func BenchmarkFig7EDPMemo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(io.Discard)
+		r.Quick = true
+		r.Memo = vm.NewMemoStore(0)
+		if err := r.RunFigure("fig7"); err != nil {
+			b.Fatal(err)
+		}
+		if s := r.Memo.Stats(); s.Hits == 0 {
+			b.Fatalf("memo store never hit: %+v", s)
+		}
+	}
+}
+
 // BenchmarkMetricsCounter prices the single-instrument fast path: one
 // atomic add, the unit cost every instrumented event pays.
 func BenchmarkMetricsCounter(b *testing.B) {
@@ -226,7 +248,7 @@ func BenchmarkFullCollection(b *testing.B) {
 					b.Fatal(err)
 				}
 				if prev != heap.Null {
-					h.Get(r).Refs[0] = prev
+					h.Get(r).RefsIn(h)[0] = prev
 					col.WriteBarrier(r, prev)
 				}
 				prev = r

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jvmpower/internal/gc"
+	"jvmpower/internal/metrics"
+	"jvmpower/internal/vm"
+)
+
+// memoRunner returns a quick runner with a sweep-fork memo store attached.
+func memoRunner(buf *strings.Builder) *Runner {
+	r := quickRunner(buf)
+	r.Memo = vm.NewMemoStore(0)
+	r.Metrics = metrics.NewRegistry()
+	return r
+}
+
+// TestMemoByteIdentical is the tentpole's determinism gate: the same figure
+// at the same seed must render byte-identically whether sweep-fork
+// memoization is on or off — and the memoized run must actually have hit
+// the store, or the comparison proves nothing.
+func TestMemoByteIdentical(t *testing.T) {
+	var bare strings.Builder
+	r1 := quickRunner(&bare)
+	if err := r1.RunFigure("fig7"); err != nil {
+		t.Fatal(err)
+	}
+
+	var memo strings.Builder
+	r2 := memoRunner(&memo)
+	if err := r2.RunFigure("fig7"); err != nil {
+		t.Fatal(err)
+	}
+
+	s := r2.Memo.Stats()
+	if s.Hits == 0 {
+		t.Fatalf("memo store never hit — nothing was memoized: %+v", s)
+	}
+	if s.Misses != 0 {
+		t.Fatalf("memo store missed %d times on a single uncontended sweep: %+v", s.Misses, s)
+	}
+	if bare.String() != memo.String() {
+		t.Fatalf("memoized output differs from bare output\n-- bare --\n%s\n-- memo --\n%s",
+			bare.String(), memo.String())
+	}
+	if g := r2.Metrics.Gauge("experiments.memo.hits").Value(); int64(g) != s.Hits {
+		t.Fatalf("experiments.memo.hits gauge = %v, store reports %d", g, s.Hits)
+	}
+}
+
+// TestMemoByteIdenticalUnderFaults repeats the gate with an injected fault
+// panicking one cell — deliberately a sweep LEADER, so the group's trace is
+// never recorded and its followers must fall back to recomputation. The
+// figure, including its missing-cell mark, must stay byte-identical with
+// the store on.
+func TestMemoByteIdenticalUnderFaults(t *testing.T) {
+	const spec = "panic-point=_209_db/JikesRVM/SemiSpace/128MB"
+
+	var bare strings.Builder
+	r1 := quickRunner(&bare)
+	r1.Faults = mustPlan(t, spec)
+	if err := r1.RunFigure("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bare.String(), missingCell) {
+		t.Fatalf("fault plan injected no degraded cell:\n%s", bare.String())
+	}
+
+	var memo strings.Builder
+	r2 := memoRunner(&memo)
+	r2.Faults = mustPlan(t, spec)
+	if err := r2.RunFigure("fig7"); err != nil {
+		t.Fatal(err)
+	}
+
+	if s := r2.Memo.Stats(); s.Hits == 0 {
+		t.Fatalf("memo store never hit under the fault plan: %+v", s)
+	}
+	if bare.String() != memo.String() {
+		t.Fatalf("memoized output differs from bare output under faults\n-- bare --\n%s\n-- memo --\n%s",
+			bare.String(), memo.String())
+	}
+}
+
+// TestMemoInertUnderIsolation attaches both a memo store and a supervisor:
+// isolated workers cannot share an in-process store, so the memo layer must
+// go inert (zero traffic) and the figure must still match the bare
+// in-process rendering byte for byte.
+func TestMemoInertUnderIsolation(t *testing.T) {
+	var bare strings.Builder
+	r1 := quickRunner(&bare)
+	if err := r1.RunFigure("fig6"); err != nil {
+		t.Fatal(err)
+	}
+
+	var isolated strings.Builder
+	r2 := isolatedRunner(t, &isolated, 2, nil)
+	r2.Memo = vm.NewMemoStore(0)
+	if err := r2.RunFigure("fig6"); err != nil {
+		t.Fatal(err)
+	}
+
+	if s := r2.Memo.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("memo store saw traffic under isolation: %+v", s)
+	}
+	if got := r2.Metrics.Counter("experiments.isolated.points").Value(); got == 0 {
+		t.Fatal("no points went through the supervisor: isolation not active")
+	}
+	if bare.String() != isolated.String() {
+		t.Fatalf("isolated+memo output differs from bare output\n-- bare --\n%s\n-- isolated --\n%s",
+			bare.String(), isolated.String())
+	}
+}
+
+// TestMemoShuffledCompletionOrder drives the memoized point matrix through
+// RunAll in several shuffled dispatch orders before rendering the figure.
+// Dispatch order perturbs which heap sizes replay from which snapshots and
+// in what sequence cells complete; the merged figure must not care — every
+// ordering must render byte-identically to the bare run.
+func TestMemoShuffledCompletionOrder(t *testing.T) {
+	var bare strings.Builder
+	r1 := quickRunner(&bare)
+	if err := r1.RunFigure("fig7"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		var memo strings.Builder
+		r2 := memoRunner(&memo)
+		pts := r2.jikesMatrix(gc.PlanNames())
+		rand.New(rand.NewSource(seed)).Shuffle(len(pts), func(i, j int) {
+			pts[i], pts[j] = pts[j], pts[i]
+		})
+		if err := r2.RunAll(pts); err != nil {
+			t.Fatal(err)
+		}
+		if s := r2.Memo.Stats(); s.Hits == 0 {
+			t.Fatalf("shuffle %d: memo store never hit: %+v", seed, s)
+		}
+		if err := r2.RunFigure("fig7"); err != nil {
+			t.Fatal(err)
+		}
+		if bare.String() != memo.String() {
+			t.Fatalf("shuffle %d: memoized output differs from bare output\n-- bare --\n%s\n-- memo --\n%s",
+				seed, bare.String(), memo.String())
+		}
+	}
+}

@@ -83,9 +83,9 @@ func TestRootedObjectsSurviveCollection(t *testing.T) {
 			c := w.alloc(t, 64, 1)
 			b := w.alloc(t, 64, 1)
 			a := w.alloc(t, 64, 1)
-			w.h.Get(a).Refs[0] = b
+			w.h.Get(a).RefsIn(w.h)[0] = b
 			w.col.WriteBarrier(a, b)
-			w.h.Get(b).Refs[0] = c
+			w.h.Get(b).RefsIn(w.h)[0] = c
 			w.col.WriteBarrier(b, c)
 			w.roots.refs = []heap.Ref{a}
 			garbage := w.alloc(t, 64, 0)

@@ -205,9 +205,10 @@ func (g *genBase) minorCollect(reason string) {
 		if o.Size == 0 {
 			continue // freed by an earlier full collection
 		}
-		g.tr.work.Add(scanWork(len(o.Refs)))
+		refs := o.RefsIn(h)
+		g.tr.work.Add(scanWork(len(refs)))
 		rep.RootsScanned++
-		for _, c := range o.Refs {
+		for _, c := range refs {
 			g.tr.enqueue(c)
 		}
 	}

@@ -53,7 +53,7 @@ func TestRemsetKeepsNurseryObjectAlive(t *testing.T) {
 
 			// A nursery object reachable ONLY through the mature object.
 			young := w.alloc(t, 64, 0)
-			w.h.Get(old).Refs[0] = young
+			w.h.Get(old).RefsIn(w.h)[0] = young
 			w.col.WriteBarrier(old, young)
 
 			// Fill the nursery to force minor collections.

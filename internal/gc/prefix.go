@@ -1,0 +1,288 @@
+package gc
+
+import (
+	"fmt"
+
+	"jvmpower/internal/heap"
+	"jvmpower/internal/units"
+)
+
+// Sweep-prefix support: the collector half of the VM's segment-trace
+// memoization (internal/vm/memo.go).
+//
+// A heap-size sweep re-executes the same benchmark program under configs
+// that differ only in heap extent. Until the first collection (or the first
+// heap-size-dependent allocation decision), the collector's observable
+// state is provably identical across those configs: the same deterministic
+// allocation sequence produces the same object table, the same primary-
+// space cursor at the same base address (every plan Takes its allocation
+// space first from the layout, so its base does not depend on the heap
+// size), and no frees — which means object-table refs were handed out
+// sequentially 1..N and each plan's bookkeeping list is just [1..N].
+//
+// This file gives each plan three capabilities built on that invariance:
+//
+//   - PrefixInvariant reports whether the state is still heap-size-
+//     independent (no collection work, no mature residents, no remset).
+//   - CapturePrefix deep-copies the heap-independent collector state.
+//   - RestorePrefix rebuilds a collector for a *different* heap size from a
+//     capture, valid whenever PrefixFits says the recorded allocation
+//     sequence would not have triggered a collection under that size.
+//
+// ReplayMutatorLocality recomputes the one heap-size-dependent quantity a
+// prefix segment feeds into the measurement stream — the mutator-locality
+// factor — using the same expressions as the plans' MutatorLocality
+// methods, so a replayed App slice is bit-identical to a live one.
+
+// PrefixObs is a point-in-time observation of the heap-size-invariant
+// quantities that determine a plan's behavior during a prefix: the primary
+// allocation space's frontier (aligned bytes), the requested-byte counter
+// feeding locality decay (SemiSpace) and cycle pacing (KaffeMS), and the
+// plan's current MutatorLocality (itself invariant for free-list plans).
+type PrefixObs struct {
+	Used     units.ByteSize
+	SinceGC  units.ByteSize
+	Locality float64
+}
+
+// PrefixState is a deep copy of a collector's heap-size-independent state
+// at a segment boundary inside a valid prefix.
+type PrefixState struct {
+	Plan    string
+	Objects int // object count; table refs were handed out as 1..Objects
+	Obs     PrefixObs
+	// BarrierStores replays the generational barrier-call count (every
+	// store pays the filter during the prefix; none records).
+	BarrierStores int64
+	// FreeList captures the allocation space of the free-list plans
+	// (MarkSweep, KaffeMS), trimmed at the block frontier; nil for
+	// bump-allocating plans.
+	FreeList *heap.FreeListState
+}
+
+// PrefixSupport is the sweep-memoization interface; all five plans
+// implement it.
+type PrefixSupport interface {
+	PrefixInvariant() bool
+	PrefixObserve() PrefixObs
+	CapturePrefix() *PrefixState
+}
+
+// PrefixFits reports whether a prefix boundary recorded at the given
+// frontier (aligned bytes in the plan's allocation space) and largest
+// single request would replay identically under heapSize: no collection
+// triggered, no allocation routed around the nursery. The predicates
+// mirror — or conservatively tighten — each plan's own trigger conditions;
+// because allocation-space pressure is monotone during a prefix, a fitting
+// boundary implies every intermediate allocation also fit.
+func PrefixFits(plan string, heapSize units.ByteSize, used units.ByteSize, maxObj uint32) bool {
+	switch plan {
+	case "SemiSpace":
+		return used <= heapSize/2
+	case "MarkSweep":
+		return used <= heapSize
+	case "GenCopy":
+		n := NurserySize(heapSize)
+		matureFree := (heapSize - n) / 2 // one empty mature semi-space
+		return genPrefixFits(n, matureFree, used, maxObj)
+	case "GenMS":
+		n := NurserySize(heapSize)
+		matureFree := heapSize - n // empty mature free-list space
+		return genPrefixFits(n, matureFree, used, maxObj)
+	case "KaffeMS":
+		// The cycle starts when free space falls below kaffeStartFreeFrac
+		// (0.18) of the heap and enough allocation has passed; requiring
+		// 20% headroom at the frontier keeps strictly clear of the trigger.
+		return float64(used) <= 0.80*float64(heapSize)
+	default:
+		return false
+	}
+}
+
+// genPrefixFits applies the generational plans' shared conditions: the
+// nursery frontier stays under the adaptive limit (roomInNursery), and no
+// object was large enough to be routed directly to the mature space.
+func genPrefixFits(nursery, matureFree, used units.ByteSize, maxObj uint32) bool {
+	limit := nursery
+	if mf := units.ByteSize(float64(matureFree) * 0.9); mf < limit {
+		limit = mf
+	}
+	if floor := 128 * units.KB; limit < floor {
+		limit = floor
+	}
+	return used <= limit && units.ByteSize(maxObj) <= nursery/2
+}
+
+// ReplayMutatorLocality recomputes plan's MutatorLocality under heapSize
+// from a recorded observation, reproducing the live expression bit for bit.
+func ReplayMutatorLocality(plan string, heapSize units.ByteSize, obs PrefixObs) float64 {
+	switch plan {
+	case "SemiSpace":
+		extent := float64(heapSize / 2)
+		if extent == 0 {
+			return compactLocality
+		}
+		spread := float64(obs.SinceGC) / extent
+		if spread > 1 {
+			spread = 1
+		}
+		return compactLocality + 0.02 - 0.05*spread
+	case "GenCopy":
+		extent := float64(NurserySize(heapSize))
+		spread := 0.0
+		if extent > 0 {
+			spread = float64(obs.Used) / extent
+		}
+		return compactLocality - 0.03*spread
+	case "GenMS":
+		// The mature space is untouched during a prefix: Fragmentation()
+		// is exactly 0 and the live expression reduces to the constant.
+		return compactLocality
+	case "MarkSweep", "KaffeMS":
+		// Fragmentation depends only on the allocation sequence, not the
+		// heap extent: the leader's recorded value is the follower's too.
+		return obs.Locality
+	default:
+		panic(fmt.Sprintf("gc: ReplayMutatorLocality for unknown plan %q", plan))
+	}
+}
+
+// RestorePrefix reconstructs a collector for heapSize from a captured
+// prefix. env.Heap must be a clone of the heap the capture was taken
+// against. The caller must have checked PrefixFits for the capture's
+// boundary under heapSize.
+func RestorePrefix(heapSize units.ByteSize, env Env, ps *PrefixState) (Collector, error) {
+	col, err := New(ps.Plan, heapSize, env)
+	if err != nil {
+		return nil, err
+	}
+	// No frees occurred during the prefix, so table refs 1..Objects were
+	// assigned in allocation order and the plan's bookkeeping list is their
+	// identity sequence. Capacity headroom: the restored run appends to this
+	// list immediately, and an exact-fit allocation would regrow it from a
+	// large base on the first allocation.
+	refs := make([]heap.Ref, ps.Objects, ps.Objects+ps.Objects/2+64)
+	for i := range refs {
+		refs[i] = heap.Ref(i + 1)
+	}
+	switch c := col.(type) {
+	case *SemiSpace:
+		c.from.RestoreUsed(ps.Obs.Used)
+		c.allocated = refs
+		c.sinceGC = ps.Obs.SinceGC
+	case *MarkSweep:
+		c.space = ps.FreeList.Instantiate(c.space.Region())
+		c.allocated = refs
+	case *GenCopy:
+		c.nursery.RestoreUsed(ps.Obs.Used)
+		c.nurseryObjs = refs
+		c.stats.BarrierStores = ps.BarrierStores
+	case *GenMS:
+		c.nursery.RestoreUsed(ps.Obs.Used)
+		c.nurseryObjs = refs
+		c.stats.BarrierStores = ps.BarrierStores
+	case *KaffeMS:
+		c.space = ps.FreeList.Instantiate(c.space.Region())
+		c.allocated = refs
+		c.sinceCycle = ps.Obs.SinceGC
+	default:
+		return nil, fmt.Errorf("gc: plan %q does not support prefix restore", ps.Plan)
+	}
+	return col, nil
+}
+
+// --- SemiSpace ---
+
+// PrefixInvariant implements PrefixSupport: no collection has run.
+func (s *SemiSpace) PrefixInvariant() bool { return s.stats.Collections == 0 }
+
+// PrefixObserve implements PrefixSupport.
+func (s *SemiSpace) PrefixObserve() PrefixObs {
+	return PrefixObs{Used: s.from.Used(), SinceGC: s.sinceGC, Locality: s.MutatorLocality()}
+}
+
+// CapturePrefix implements PrefixSupport.
+func (s *SemiSpace) CapturePrefix() *PrefixState {
+	return &PrefixState{Plan: s.Name(), Objects: len(s.allocated), Obs: s.PrefixObserve()}
+}
+
+// --- MarkSweep ---
+
+// PrefixInvariant implements PrefixSupport: no collection has run.
+func (m *MarkSweep) PrefixInvariant() bool { return m.stats.Collections == 0 }
+
+// PrefixObserve implements PrefixSupport. With no frees, Footprint is the
+// block frontier — the quantity whose exhaustion triggers collection.
+func (m *MarkSweep) PrefixObserve() PrefixObs {
+	return PrefixObs{Used: m.space.Footprint(), Locality: m.MutatorLocality()}
+}
+
+// CapturePrefix implements PrefixSupport.
+func (m *MarkSweep) CapturePrefix() *PrefixState {
+	return &PrefixState{
+		Plan: m.Name(), Objects: len(m.allocated), Obs: m.PrefixObserve(),
+		FreeList: m.space.CaptureState(),
+	}
+}
+
+// --- GenCopy ---
+
+// PrefixInvariant implements PrefixSupport: no collection has run, nothing
+// lives in the mature space, and the remembered set is empty.
+func (g *GenCopy) PrefixInvariant() bool {
+	return g.stats.Collections == 0 && len(g.matureObjs) == 0 && g.stats.RemsetRecorded == 0
+}
+
+// PrefixObserve implements PrefixSupport.
+func (g *GenCopy) PrefixObserve() PrefixObs {
+	return PrefixObs{Used: g.nursery.Used(), Locality: g.MutatorLocality()}
+}
+
+// CapturePrefix implements PrefixSupport.
+func (g *GenCopy) CapturePrefix() *PrefixState {
+	return &PrefixState{
+		Plan: g.Name(), Objects: len(g.nurseryObjs), Obs: g.PrefixObserve(),
+		BarrierStores: g.stats.BarrierStores,
+	}
+}
+
+// --- GenMS ---
+
+// PrefixInvariant implements PrefixSupport.
+func (g *GenMS) PrefixInvariant() bool {
+	return g.stats.Collections == 0 && len(g.matureObjs) == 0 && g.stats.RemsetRecorded == 0
+}
+
+// PrefixObserve implements PrefixSupport.
+func (g *GenMS) PrefixObserve() PrefixObs {
+	return PrefixObs{Used: g.nursery.Used(), Locality: g.MutatorLocality()}
+}
+
+// CapturePrefix implements PrefixSupport.
+func (g *GenMS) CapturePrefix() *PrefixState {
+	return &PrefixState{
+		Plan: g.Name(), Objects: len(g.nurseryObjs), Obs: g.PrefixObserve(),
+		BarrierStores: g.stats.BarrierStores,
+	}
+}
+
+// --- KaffeMS ---
+
+// PrefixInvariant implements PrefixSupport: no cycle has started (cycle
+// start emits an increment report, so Increments covers active too).
+func (k *KaffeMS) PrefixInvariant() bool {
+	return k.stats.Collections == 0 && k.stats.Increments == 0 && !k.active
+}
+
+// PrefixObserve implements PrefixSupport.
+func (k *KaffeMS) PrefixObserve() PrefixObs {
+	return PrefixObs{Used: k.space.Footprint(), SinceGC: k.sinceCycle, Locality: k.MutatorLocality()}
+}
+
+// CapturePrefix implements PrefixSupport.
+func (k *KaffeMS) CapturePrefix() *PrefixState {
+	return &PrefixState{
+		Plan: k.Name(), Objects: len(k.allocated), Obs: k.PrefixObserve(),
+		FreeList: k.space.CaptureState(),
+	}
+}

@@ -36,7 +36,7 @@ func reachable(h *heap.Heap, roots []heap.Ref) map[heap.Ref]bool {
 	for len(stack) > 0 {
 		r := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, c := range h.Get(r).Refs {
+		for _, c := range h.Get(r).RefsIn(h) {
 			push(c)
 		}
 	}
@@ -71,7 +71,7 @@ func TestFullCollectionPreservesReachability(t *testing.T) {
 					objs = append(objs, r)
 					if i > 0 && i < len(spec.Edges)+1 {
 						target := objs[int(spec.Edges[i-1])%i]
-						w.h.Get(r).Refs[0] = target
+						w.h.Get(r).RefsIn(w.h)[0] = target
 						col.WriteBarrier(r, target)
 					}
 				}
@@ -100,7 +100,7 @@ func TestFullCollectionPreservesReachability(t *testing.T) {
 					if !want[r] {
 						continue
 					}
-					for _, c := range w.h.Get(r).Refs {
+					for _, c := range w.h.Get(r).RefsIn(w.h) {
 						if c != heap.Null && w.h.Get(c).Size == 0 {
 							t.Logf("dangling reference %d -> %d", r, c)
 							return false
@@ -148,7 +148,7 @@ func TestKaffeConservativeNeverFreesLive(t *testing.T) {
 			w.roots.refs = append(w.roots.refs, r) // root while wiring
 			if i > 0 && i < len(spec.Edges)+1 {
 				target := objs[int(spec.Edges[i-1])%i]
-				w.h.Get(r).Refs[0] = target
+				w.h.Get(r).RefsIn(w.h)[0] = target
 				col.WriteBarrier(r, target)
 			}
 		}

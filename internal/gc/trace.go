@@ -78,8 +78,9 @@ func (t *tracer) drainN(n int64) int64 {
 func (t *tracer) scan(r heap.Ref) {
 	o := t.h.Get(r)
 	t.objectsScanned++
-	t.work.Add(scanWork(len(o.Refs)))
-	for _, c := range o.Refs {
+	refs := o.RefsIn(t.h)
+	t.work.Add(scanWork(len(refs)))
+	for _, c := range refs {
 		t.enqueue(c)
 	}
 }

@@ -13,6 +13,9 @@
 package heap
 
 import (
+	"sync"
+	"unsafe"
+
 	"jvmpower/internal/classfile"
 	"jvmpower/internal/units"
 )
@@ -63,8 +66,57 @@ const (
 // refArenaChunk is the ref-arena block size in Refs (64 KB blocks).
 const refArenaChunk = 16384
 
+// chunkPool recycles object-table chunks across heaps. Chunks are returned
+// dirty: NewObject fully reinitializes a slot before any field is read, and
+// Get/ForEach never touch slots past h.n, so stale contents are unreachable.
+// Zeroing fresh chunks is the single largest line in the experiment-scale
+// CPU profile; reuse removes it.
+//
+// This is a plain capped stack rather than a sync.Pool: memo snapshots keep
+// hundreds of megabytes of cloned chunks live, the resulting GC cycles
+// flush a sync.Pool, and every flushed chunk comes back as a fresh large
+// allocation the runtime re-zeroes — exactly the cost pooling exists to
+// avoid. The cap bounds idle retention; overflow falls to the GC.
+var chunkPool struct {
+	mu   sync.Mutex
+	free [][]Object
+}
+
+// maxPooledChunks caps idle chunk retention (at ~1.5 MB a chunk, a few
+// hundred MB — below the memo store's own default budget).
+const maxPooledChunks = 256
+
+func getChunk() []Object {
+	chunkPool.mu.Lock()
+	if n := len(chunkPool.free); n > 0 {
+		c := chunkPool.free[n-1]
+		chunkPool.free[n-1] = nil
+		chunkPool.free = chunkPool.free[:n-1]
+		chunkPool.mu.Unlock()
+		return c
+	}
+	chunkPool.mu.Unlock()
+	return make([]Object, chunkSize)
+}
+
+func putChunk(c []Object) {
+	chunkPool.mu.Lock()
+	if len(chunkPool.free) < maxPooledChunks {
+		chunkPool.free = append(chunkPool.free, c)
+	}
+	chunkPool.mu.Unlock()
+}
+
 // Object is one heap object. Objects live in the heap's table; a Ref is an
 // index into it.
+//
+// The struct is deliberately pointer-free (48 bytes, down from 96 with
+// slice-headed fields): outgoing references live inline or at an offset
+// into the heap's ref arena, reached through RefsIn, and interpreter int
+// payloads live in a side table (IntsOf/SetInts). That halves the memory
+// traffic of zeroing, copying, and snapshot-cloning table chunks, and
+// makes the chunks invisible to Go's garbage collector — which matters
+// once memo snapshots keep hundreds of megabytes of them live.
 type Object struct {
 	Kind  Kind
 	Flags uint8
@@ -72,25 +124,57 @@ type Object struct {
 	Class classfile.ClassID
 	Size  uint32 // total heap footprint in bytes, header included
 	Addr  uint64 // simulated address; changes when a copying collector moves it
-	Refs  []Ref  // outgoing references (ref fields, or elements of a ref array)
-	Ints  []int32
 
-	// inline backs Refs for objects with at most inlineRefs references.
-	// Objects must not be copied by value (Refs would alias the source's
-	// inline store); they are only ever reached as *Object via Get.
+	// nrefs is the outgoing-reference count; spill is the ref-arena offset
+	// of the reference storage when nrefs exceeds inlineRefs.
+	nrefs uint32
+	spill uint32
+
+	// inline backs the references of objects with at most inlineRefs of
+	// them. Objects must not be copied by value (RefsIn would alias the
+	// source's inline store); they are only ever reached as *Object via Get.
 	inline [inlineRefs]Ref
+}
+
+// NumRefs reports the object's outgoing-reference count.
+func (o *Object) NumRefs() int { return int(o.nrefs) }
+
+// RefsIn returns the object's outgoing references as a mutable slice,
+// backed by the object's inline store or by h's ref arena. The view is
+// invalidated by the next object allocation on h (arena growth may move
+// spilled storage), so callers derive it fresh after each Get and never
+// hold it across an allocation.
+func (o *Object) RefsIn(h *Heap) []Ref {
+	if o.nrefs <= inlineRefs {
+		return o.inline[:o.nrefs]
+	}
+	return h.arena[o.spill : o.spill+o.nrefs]
 }
 
 // Heap owns the object table. Collectors and the VM share one Heap.
 type Heap struct {
 	chunks [][]Object
-	n      int   // table length (slot 0 reserved for Null)
-	free   []Ref // recycled object-table slots
+	n      int // table length (slot 0 reserved for Null)
 
-	// refArena bump-allocates spill []Ref storage for objects with more
-	// than inlineRefs references. Blocks are never recycled within a run;
-	// total spill volume is bounded by cumulative allocation.
-	refArena []Ref
+	// freeHead chains recycled object-table slots intrusively through the
+	// freed slots' Addr fields (dead storage for a freed object), replacing
+	// a side []Ref stack whose append traffic showed up in the profile.
+	// Push-front/pop-front preserves the stack's LIFO reuse order exactly.
+	freeHead Ref
+
+	released bool // table chunks returned to chunkPool; heap is dead
+
+	// arena holds the spilled reference storage of objects with more than
+	// inlineRefs references, addressed by Object.spill offsets. Offsets are
+	// stable for the heap's lifetime (the arena only grows); storage is
+	// never recycled within a run, bounding spill volume by cumulative
+	// allocation.
+	arena []Ref
+
+	// ints holds interpreter-materialized int payloads by ref. It is a side
+	// table (not an Object field) so the table chunks stay pointer-free; the
+	// batch engine never populates it.
+	ints map[Ref][]int32
 
 	liveCount int64
 	liveBytes units.ByteSize
@@ -103,22 +187,58 @@ type Heap struct {
 // New returns an empty heap.
 func New() *Heap {
 	h := &Heap{n: 1} // slot 0 reserved for Null
-	h.chunks = append(h.chunks, make([]Object, chunkSize))
+	h.chunks = append(h.chunks, getChunk())
 	return h
 }
 
-// spillRefs allocates a zeroed n-ref slice from the arena.
-func (h *Heap) spillRefs(n int) []Ref {
-	if len(h.refArena) < n {
-		size := refArenaChunk
-		if size < n {
-			size = n
-		}
-		h.refArena = make([]Ref, size)
+// Release returns the heap's table chunks to the shared chunk pool. Call it
+// once, when the run that owns the heap has extracted everything it needs;
+// the heap must not be used afterwards. Heaps that escape into long-lived
+// snapshots are simply never released.
+func (h *Heap) Release() {
+	if h.released {
+		return
 	}
-	s := h.refArena[:n:n]
-	h.refArena = h.refArena[n:]
-	return s
+	h.released = true
+	for _, c := range h.chunks {
+		putChunk(c)
+	}
+	h.chunks = nil
+	h.n = 0
+	h.arena = nil
+	h.ints = nil
+}
+
+// spillRefs reserves a zeroed n-ref run in the arena and returns its offset.
+func (h *Heap) spillRefs(n int) uint32 {
+	off := len(h.arena)
+	need := off + n
+	if need > cap(h.arena) {
+		newCap := 2 * cap(h.arena)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < refArenaChunk {
+			newCap = refArenaChunk
+		}
+		grown := make([]Ref, off, newCap)
+		copy(grown, h.arena)
+		h.arena = grown
+	}
+	h.arena = h.arena[:need]
+	clear(h.arena[off:need])
+	return uint32(off)
+}
+
+// IntsOf returns the interpreter int payload attached to r, or nil.
+func (h *Heap) IntsOf(r Ref) []int32 { return h.ints[r] }
+
+// SetInts attaches an interpreter int payload to r.
+func (h *Heap) SetInts(r Ref, s []int32) {
+	if h.ints == nil {
+		h.ints = make(map[Ref][]int32)
+	}
+	h.ints[r] = s
 }
 
 // NewObject creates an object in the table with the given shape and
@@ -126,24 +246,20 @@ func (h *Heap) spillRefs(n int) []Ref {
 // allocator) is responsible for having reserved addr..addr+size in a space.
 func (h *Heap) NewObject(kind Kind, class classfile.ClassID, size uint32, nrefs int, addr uint64) Ref {
 	var r Ref
-	if n := len(h.free); n > 0 {
-		r = h.free[n-1]
-		h.free = h.free[:n-1]
+	if h.freeHead != Null {
+		r = h.freeHead
+		h.freeHead = Ref(h.chunks[r>>chunkShift][r&chunkMask].Addr)
 	} else {
 		if h.n>>chunkShift == len(h.chunks) {
-			h.chunks = append(h.chunks, make([]Object, chunkSize))
+			h.chunks = append(h.chunks, getChunk())
 		}
 		r = Ref(h.n)
 		h.n++
 	}
 	o := &h.chunks[r>>chunkShift][r&chunkMask]
-	*o = Object{Kind: kind, Class: class, Size: size, Addr: addr}
-	if nrefs > 0 {
-		if nrefs <= inlineRefs {
-			o.Refs = o.inline[:nrefs] // zeroed by the overwrite above
-		} else {
-			o.Refs = h.spillRefs(nrefs)
-		}
+	*o = Object{Kind: kind, Class: class, Size: size, Addr: addr, nrefs: uint32(nrefs)}
+	if nrefs > inlineRefs {
+		o.spill = h.spillRefs(nrefs)
 	}
 	h.liveCount++
 	h.liveBytes += units.ByteSize(size)
@@ -175,9 +291,12 @@ func (h *Heap) Free(r Ref) {
 	h.liveBytes -= units.ByteSize(o.Size)
 	o.Size = 0
 	o.Flags = 0
-	o.Refs = nil
-	o.Ints = nil
-	h.free = append(h.free, r)
+	o.nrefs = 0
+	if h.ints != nil {
+		delete(h.ints, r)
+	}
+	o.Addr = uint64(h.freeHead) // free-list link; dead storage while freed
+	h.freeHead = r
 }
 
 // LiveCount reports the number of live (table-resident) objects.
@@ -204,6 +323,46 @@ func (h *Heap) ForEach(fn func(Ref, *Object)) {
 			fn(Ref(i), o)
 		}
 	}
+}
+
+// Clone returns a deep copy of the heap: table contents, ref arena,
+// free-slot chain, and counters. Because objects address their spilled
+// references by arena offset rather than by pointer, the copy is three flat
+// memmoves (chunks, arena, ints) with no per-object fix-up pass, and
+// neither heap observes mutations made through the other. Used by
+// sweep-prefix snapshots, which fork later sweep points from a shared
+// execution prefix.
+func (h *Heap) Clone() *Heap {
+	c := &Heap{
+		n:          h.n,
+		freeHead:   h.freeHead,
+		arena:      append([]Ref(nil), h.arena...),
+		liveCount:  h.liveCount,
+		liveBytes:  h.liveBytes,
+		allocCount: h.allocCount,
+		allocBytes: h.allocBytes,
+	}
+	c.chunks = make([][]Object, len(h.chunks))
+	for i, src := range h.chunks {
+		dst := getChunk()
+		copy(dst, src)
+		c.chunks[i] = dst
+	}
+	if h.ints != nil {
+		c.ints = make(map[Ref][]int32, len(h.ints))
+		for r, s := range h.ints {
+			c.ints[r] = append([]int32(nil), s...)
+		}
+	}
+	return c
+}
+
+// MemoryFootprint estimates the heap's real (host) memory use: object-table
+// chunks plus the ref arena. Memo-store budget accounting uses it to bound
+// how much snapshot state a sweep may retain.
+func (h *Heap) MemoryFootprint() int64 {
+	const objBytes = int64(unsafe.Sizeof(Object{}))
+	return int64(len(h.chunks))*chunkSize*objBytes + int64(cap(h.arena))*4
 }
 
 // SetAddr relocates an object to a new simulated address (copying GC).

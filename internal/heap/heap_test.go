@@ -20,7 +20,7 @@ func TestHeapAllocAndFree(t *testing.T) {
 		t.Fatalf("alloc %d/%v", h.AllocCount(), h.AllocBytes())
 	}
 	o := h.Get(r1)
-	if o.Size != 64 || len(o.Refs) != 2 || o.Addr != 0x1000 {
+	if o.Size != 64 || o.NumRefs() != 2 || o.Addr != 0x1000 {
 		t.Fatalf("object state %+v", o)
 	}
 
@@ -33,7 +33,7 @@ func TestHeapAllocAndFree(t *testing.T) {
 	if r3 != r1 {
 		t.Fatalf("slot not recycled: got %d want %d", r3, r1)
 	}
-	if got := h.Get(r3); got.Size != 32 || len(got.Refs) != 1 || got.Refs[0] != Null {
+	if got := h.Get(r3); got.Size != 32 || got.NumRefs() != 1 || got.RefsIn(h)[0] != Null {
 		t.Fatalf("recycled object dirty: %+v", got)
 	}
 }

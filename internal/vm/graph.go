@@ -98,7 +98,7 @@ func (v *VM) allocAppObject(size uint32, nrefs int, longLivedP float64, liveTarg
 	// backward wiring would thread reachability through all of allocation
 	// history and inflate the live set without bound.
 	if nrefs > 0 && v.lastAlloc != heap.Null && v.rngFloat() < clusterContinueP {
-		o.Refs[0] = v.lastAlloc
+		o.RefsIn(v.heap)[0] = v.lastAlloc
 		v.pendingMutInstr += v.col.WriteBarrier(r, v.lastAlloc)
 	}
 	v.lastAlloc = r
@@ -122,12 +122,13 @@ func (v *VM) attachLongLived(r heap.Ref, size uint32, liveTarget units.ByteSize)
 	ci := int(v.rng() % numChains)
 	c := &v.chains[ci]
 	o := v.heap.Get(r)
-	link := len(o.Refs) - 1
+	refs := o.RefsIn(v.heap)
+	link := len(refs) - 1
 	// Going long-lived severs the cohort links: the retained object keeps
 	// only its chain membership, so the live set is governed by the chain
 	// accounting below rather than by cohort closures.
 	for i := 0; i < link; i++ {
-		o.Refs[i] = heap.Null
+		refs[i] = heap.Null
 	}
 
 	if v.chainTotal+units.ByteSize(size) > liveTarget {
@@ -145,10 +146,10 @@ func (v *VM) attachLongLived(r heap.Ref, size uint32, liveTarget units.ByteSize)
 		// entry is superseded), so pointer mutation pins at most one young
 		// cohort per chain.
 		oo := v.heap.Get(old)
-		if len(oo.Refs) >= 2 {
-			oo.Refs[0] = heap.Null
+		if oo.NumRefs() >= 2 {
+			oo.RefsIn(v.heap)[0] = heap.Null
 		}
-		o.Refs[link] = old
+		refs[link] = old
 		v.pendingMutInstr += v.col.WriteBarrier(r, old)
 	}
 	v.statics[ci] = r
@@ -170,6 +171,9 @@ func (v *VM) mutatePointer() {
 	ti := int(v.rng() % numTables)
 	table := v.tables[ti]
 	if table == heap.Null {
+		if v.rec != nil {
+			v.rec.noteAlloc(64)
+		}
 		r, err := v.col.Alloc(heap.KindObject, 0, 64, 4)
 		if err != nil {
 			return // heap exhausted; the caller's next alloc will surface it
@@ -182,8 +186,9 @@ func (v *VM) mutatePointer() {
 	if t == heap.Null {
 		return
 	}
-	slot := int(v.rng() % uint64(len(o.Refs)))
-	o.Refs[slot] = t
+	refs := o.RefsIn(v.heap)
+	slot := int(v.rng() % uint64(len(refs)))
+	refs[slot] = t
 	v.pendingMutInstr += v.col.WriteBarrier(table, t)
 }
 

@@ -484,9 +484,8 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		o := v.heap.Get(ref)
 		if nInt > 0 {
-			o.Ints = make([]int32, nInt)
+			v.heap.SetInts(ref, make([]int32, nInt))
 		}
 		it.instr += float64(gc.AllocCost(v.freeListAlloc()))
 		it.stats.Allocations++
@@ -509,7 +508,7 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		v.heap.Get(ref).Ints = make([]int32, n.i)
+		v.heap.SetInts(ref, make([]int32, n.i))
 		it.instr += float64(gc.AllocCost(v.freeListAlloc()))
 		it.stats.Allocations++
 		f.push(refSlot(ref))
@@ -525,15 +524,16 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 		o := v.heap.Get(a.r)
 		it.access(o.Addr + 8 + uint64(in.A)*4)
 		if in.Op == isa.GETFIELD {
-			if int(in.A) >= len(o.Ints) {
+			ints := v.heap.IntsOf(a.r)
+			if int(in.A) >= len(ints) {
 				return false, it.verr(f, "FieldOutOfRange")
 			}
-			f.push(intSlot(o.Ints[in.A]))
+			f.push(intSlot(ints[in.A]))
 		} else {
-			if int(in.A) >= len(o.Refs) {
+			if int(in.A) >= o.NumRefs() {
 				return false, it.verr(f, "FieldOutOfRange")
 			}
-			f.push(refSlot(o.Refs[in.A]))
+			f.push(refSlot(o.RefsIn(v.heap)[in.A]))
 		}
 	case isa.PUTFIELD:
 		val, ok1 := f.pop()
@@ -545,11 +545,12 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 			return false, it.verr(f, "NullPointerException")
 		}
 		o := v.heap.Get(a.r)
-		if int(in.A) >= len(o.Ints) {
+		ints := v.heap.IntsOf(a.r)
+		if int(in.A) >= len(ints) {
 			return false, it.verr(f, "FieldOutOfRange")
 		}
 		it.access(o.Addr + 8 + uint64(in.A)*4)
-		o.Ints[in.A] = val.i
+		ints[in.A] = val.i
 	case isa.PUTREF:
 		val, ok1 := f.pop()
 		a, ok2 := f.pop()
@@ -560,11 +561,11 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 			return false, it.verr(f, "NullPointerException")
 		}
 		o := v.heap.Get(a.r)
-		if int(in.A) >= len(o.Refs) {
+		if int(in.A) >= o.NumRefs() {
 			return false, it.verr(f, "FieldOutOfRange")
 		}
 		it.access(o.Addr + 8 + uint64(in.A)*4)
-		o.Refs[in.A] = val.r
+		o.RefsIn(v.heap)[in.A] = val.r
 		it.instr += float64(v.col.WriteBarrier(a.r, val.r))
 
 	case isa.IALOAD, isa.IASTORE, isa.ARRAYLEN:
@@ -579,11 +580,12 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 				return false, it.verr(f, "NullPointerException")
 			}
 			o := v.heap.Get(arr.r)
-			if idx.i < 0 || int(idx.i) >= len(o.Ints) {
+			ints := v.heap.IntsOf(arr.r)
+			if idx.i < 0 || int(idx.i) >= len(ints) {
 				return false, it.verr(f, "ArrayIndexOutOfBounds")
 			}
 			it.access(o.Addr + 12 + uint64(idx.i)*4)
-			o.Ints[idx.i] = val.i
+			ints[idx.i] = val.i
 		} else if in.Op == isa.IALOAD {
 			idx, ok1 := f.pop()
 			arr, ok2 := f.pop()
@@ -594,11 +596,12 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 				return false, it.verr(f, "NullPointerException")
 			}
 			o := v.heap.Get(arr.r)
-			if idx.i < 0 || int(idx.i) >= len(o.Ints) {
+			ints := v.heap.IntsOf(arr.r)
+			if idx.i < 0 || int(idx.i) >= len(ints) {
 				return false, it.verr(f, "ArrayIndexOutOfBounds")
 			}
 			it.access(o.Addr + 12 + uint64(idx.i)*4)
-			f.push(intSlot(o.Ints[idx.i]))
+			f.push(intSlot(ints[idx.i]))
 		} else {
 			arr, ok := f.pop()
 			if !ok {
@@ -609,7 +612,7 @@ func (it *interp) step(f *frame, in isa.Instr) (bool, error) {
 			}
 			o := v.heap.Get(arr.r)
 			it.access(o.Addr + 8)
-			f.push(intSlot(int32(len(o.Ints))))
+			f.push(intSlot(int32(len(v.heap.IntsOf(arr.r)))))
 		}
 
 	case isa.GETSTATIC:

@@ -122,7 +122,7 @@ func TestInterpretAllocLoopSurvivesWithRoom(t *testing.T) {
 			count := 0
 			for r := head; r != 0 && count <= 20_000; {
 				count++
-				r = v.heap.Get(r).Refs[0]
+				r = v.heap.Get(r).RefsIn(v.heap)[0]
 			}
 			if count != 20_000 {
 				t.Fatalf("%s: chain length %d after GC, want 20000", col, count)

@@ -1,0 +1,507 @@
+package vm
+
+import (
+	"container/list"
+	"math"
+	"runtime/debug"
+	"sync"
+
+	"jvmpower/internal/classloader"
+	"jvmpower/internal/component"
+	"jvmpower/internal/cpu"
+	"jvmpower/internal/gc"
+	"jvmpower/internal/heap"
+	"jvmpower/internal/jit"
+	"jvmpower/internal/units"
+)
+
+// Sweep-fork memoization: the batch engine's segment-trace layer.
+//
+// A heap-size sweep runs the same (program, profile, seed) point under
+// configs differing only in heap extent. Until the heap first influences
+// execution — a collection, a nursery bypass, an incremental cycle — every
+// config performs the identical segment sequence and emits the identical
+// slices, except for one float in each App slice (the mutator-locality
+// factor, which two plans derive from heap-relative occupancy). This file
+// exploits that: the sweep's leader (largest heap, longest invariant
+// prefix) records its prologue and per-segment slice stream plus boundary
+// snapshots of full VM state; later sweep points replay the recorded
+// slices (recomputing App locality for their own heap via
+// gc.ReplayMutatorLocality), restore the deepest snapshot whose boundary
+// still fits their heap (gc.PrefixFits), and run live only from there.
+//
+// Correctness does not rest on the snapshot-placement heuristics: a
+// follower re-checks PrefixFits against its own heap at replay time, and a
+// missing or shallow snapshot only costs savings (the point falls back to
+// an earlier snapshot or a fully live run). The determinism suite enforces
+// byte-identical figures with memoization on and off.
+
+// recSlice is one recorded slice emission.
+type recSlice struct {
+	id component.ID
+	s  cpu.Slice
+}
+
+// segRecord is one segment's recorded emissions plus the collector
+// observation that parameterizes the App slice's locality recompute.
+type segRecord struct {
+	slices []recSlice
+	obs    gc.PrefixObs
+}
+
+// boundaryInfo is the fits-relevant pressure at a segment boundary.
+type boundaryInfo struct {
+	used   units.ByteSize // plan allocation-space pressure (gc.PrefixFits)
+	maxObj uint32         // largest single allocation so far
+}
+
+// loopState is the batch loop's carried state, captured at boundaries so a
+// follower can resume mid-run.
+type loopState struct {
+	invokeIdx int
+	rampAcc   float64
+	mutAcc    float64
+}
+
+// resumePoint tells runProfile to skip the prologue and segments before
+// seg; the VM's state has already been restored to that boundary.
+type resumePoint struct {
+	seg  int64
+	loop loopState
+}
+
+// Snapshot is a deep copy of full VM state at a segment boundary: heap,
+// collector prefix state, loader, AOS, and every mutable field the batch
+// engine carries. Snapshots are immutable once captured — followers clone
+// out of them concurrently.
+type Snapshot struct {
+	seg      int64
+	boundary boundaryInfo
+	loop     loopState
+
+	heap   *heap.Heap
+	col    *gc.PrefixState
+	loader *classloader.Loader
+	aos    *jit.AOS
+
+	statics   []heap.Ref
+	stackRing []heap.Ref
+	tables    []heap.Ref
+	ringPos   int
+	lastAlloc heap.Ref
+	metaBytes units.ByteSize
+
+	chains     []chain
+	chainTotal units.ByteSize
+
+	invoked         []bool
+	rngState        uint64
+	pendingMutInstr int64
+}
+
+// SegmentTrace is one sweep point's recorded execution prefix: the
+// prologue's slices, per-segment slice records, and boundary snapshots in
+// ascending segment order.
+type SegmentTrace struct {
+	plan     string
+	prologue []recSlice
+	segs     []segRecord
+	snaps    []*Snapshot
+	bytes    int64 // memory estimate for store budget accounting
+}
+
+// recSliceBytes is the budget-accounting estimate for one recorded slice.
+const recSliceBytes = 96
+
+// snapshotOverheadBytes estimates a snapshot's non-heap storage.
+func (s *Snapshot) sizeBytes() int64 {
+	n := s.heap.MemoryFootprint()
+	n += int64(len(s.statics)+len(s.stackRing)+len(s.tables)) * 4
+	n += int64(len(s.invoked))
+	n += int64(len(s.chains)) * 8
+	if s.col.FreeList != nil {
+		n += s.col.FreeList.SizeBytes()
+	}
+	n += 512 // struct, loader/aos clones (small maps)
+	return n
+}
+
+// recorder drives trace capture on the sweep leader. It lives on the VM
+// for the duration of one RunProfile and detaches itself when recording
+// ends (invariance broken, all group heaps served, or run complete).
+type recorder struct {
+	trace *SegmentTrace
+	ps    gc.PrefixSupport
+	// need tracks group heap sizes that still want a snapshot placed as
+	// deep as their fits limit allows.
+	need map[units.ByteSize]bool
+
+	active   bool
+	cur      []recSlice
+	curObs   gc.PrefixObs
+	maxObj   uint32
+	lastUsed units.ByteSize
+	maxDelta units.ByteSize
+}
+
+// StartRecording arms segment-trace capture for the next RunProfile call
+// and returns the trace that will be filled. groupHeaps lists the sweep
+// group's other heap sizes; snapshot placement targets them. Returns nil
+// (and records nothing) if the collector does not support prefix capture.
+func (v *VM) StartRecording(groupHeaps []units.ByteSize) *SegmentTrace {
+	ps, ok := v.col.(gc.PrefixSupport)
+	if !ok {
+		return nil
+	}
+	need := make(map[units.ByteSize]bool, len(groupHeaps))
+	for _, h := range groupHeaps {
+		if h != v.cfg.HeapSize {
+			need[h] = true
+		}
+	}
+	t := &SegmentTrace{plan: v.col.Name()}
+	v.rec = &recorder{trace: t, ps: ps, need: need, active: true}
+	return t
+}
+
+// emit sends a slice to the executor and, while recording, captures it.
+func (v *VM) emit(id component.ID, s cpu.Slice) {
+	v.exec.Execute(id, s)
+	if v.rec != nil && v.rec.active {
+		v.rec.cur = append(v.rec.cur, recSlice{id, s})
+	}
+}
+
+// noteAlloc tracks the largest single allocation (the generational plans'
+// nursery-bypass gate depends on it).
+func (rec *recorder) noteAlloc(size uint32) {
+	if rec.active && size > rec.maxObj {
+		rec.maxObj = size
+	}
+}
+
+func (rec *recorder) deactivate() {
+	rec.active = false
+	rec.cur = nil
+}
+
+// snapshot captures the boundary at seg, deduplicating repeat captures of
+// the same boundary (several group heaps can elect one snapshot).
+func (rec *recorder) snapshot(v *VM, seg int64, st loopState) {
+	if n := len(rec.trace.snaps); n > 0 && rec.trace.snaps[n-1].seg == seg {
+		return
+	}
+	s := &Snapshot{
+		seg:             seg,
+		boundary:        boundaryInfo{used: rec.lastUsed, maxObj: rec.maxObj},
+		loop:            st,
+		heap:            v.heap.Clone(),
+		col:             rec.ps.CapturePrefix(),
+		loader:          v.loader.Clone(),
+		aos:             v.aos.Clone(),
+		statics:         append([]heap.Ref(nil), v.statics...),
+		stackRing:       append([]heap.Ref(nil), v.stackRing...),
+		tables:          append([]heap.Ref(nil), v.tables...),
+		ringPos:         v.ringPos,
+		lastAlloc:       v.lastAlloc,
+		metaBytes:       v.metaBytes,
+		chains:          append([]chain(nil), v.chains...),
+		chainTotal:      v.chainTotal,
+		invoked:         append([]bool(nil), v.invoked...),
+		rngState:        v.rngState,
+		pendingMutInstr: v.pendingMutInstr,
+	}
+	rec.trace.snaps = append(rec.trace.snaps, s)
+	rec.trace.bytes += s.sizeBytes()
+}
+
+// prologueDone closes out prologue capture (boundary 0): the slices
+// emitted by entry invocation and the startup burst become the trace's
+// prologue, and the boundary-0 snapshot is taken unconditionally — it fits
+// every heap (no allocation has happened), so every follower is guaranteed
+// at least prologue reuse.
+func (rec *recorder) prologueDone(v *VM, st loopState, allocPerSeg int64) {
+	if !rec.active {
+		return
+	}
+	if !rec.ps.PrefixInvariant() {
+		rec.deactivate()
+		return
+	}
+	rec.trace.prologue = rec.cur
+	rec.trace.bytes += int64(len(rec.cur)) * recSliceBytes
+	rec.cur = nil
+	obs := rec.ps.PrefixObserve()
+	rec.lastUsed = obs.Used
+	// Initial per-segment pressure-delta estimate, refined as boundaries
+	// are observed; used only for predictive snapshot placement.
+	rec.maxDelta = units.ByteSize(allocPerSeg) * 2
+	rec.snapshot(v, 0, st)
+}
+
+// endSegment closes segment seg: verifies the collector is still inside
+// its heap-size-invariant prefix (otherwise the segment's record is
+// discarded and recording stops), appends the segment record, and places
+// predictive snapshots for group heaps whose fits limit the next segment
+// is projected to cross.
+func (rec *recorder) endSegment(v *VM, seg int64, st loopState) {
+	if !rec.active {
+		return
+	}
+	if !rec.ps.PrefixInvariant() {
+		rec.deactivate()
+		return
+	}
+	rec.trace.segs = append(rec.trace.segs, segRecord{slices: rec.cur, obs: rec.curObs})
+	rec.trace.bytes += int64(len(rec.cur)) * recSliceBytes
+	rec.cur = nil
+
+	used := rec.curObs.Used
+	if d := used - rec.lastUsed; d > rec.maxDelta {
+		rec.maxDelta = d
+	}
+	rec.lastUsed = used
+	predicted := used + rec.maxDelta + rec.maxDelta/4 + 64*units.KB
+	for h := range rec.need {
+		if !gc.PrefixFits(rec.trace.plan, h, used, rec.maxObj) {
+			// This boundary already overflows h; pressure is monotone, so
+			// no later boundary can serve it. An earlier snapshot does.
+			delete(rec.need, h)
+			continue
+		}
+		if !gc.PrefixFits(rec.trace.plan, h, predicted, rec.maxObj) {
+			rec.snapshot(v, seg+1, st)
+			delete(rec.need, h)
+		}
+	}
+	if len(rec.need) == 0 {
+		// Every group heap has a snapshot (or can never get a deeper one);
+		// nothing downstream consumes further records.
+		rec.deactivate()
+	}
+}
+
+// finish closes recording at the end of the run: heaps whose fits limit
+// was never approached (the whole run stayed invariant) get a snapshot at
+// the final boundary, letting followers replay the entire execution.
+func (rec *recorder) finish(v *VM, nSeg int64, st loopState) {
+	if rec.active {
+		for h := range rec.need {
+			if gc.PrefixFits(rec.trace.plan, h, rec.lastUsed, rec.maxObj) {
+				rec.snapshot(v, nSeg, st)
+				break
+			}
+		}
+	}
+	rec.deactivate()
+	v.rec = nil
+}
+
+// restoreSnapshot rebuilds the VM at s's boundary: the current (fresh,
+// unused) heap is released and replaced by a private clone of the
+// snapshot's, the collector is reconstructed for this VM's heap size from
+// the captured prefix state, and every mutable field is copied in.
+func (v *VM) restoreSnapshot(s *Snapshot) error {
+	v.heap.Release()
+	v.heap = s.heap.Clone()
+	v.loader = s.loader.Clone()
+	v.aos = s.aos.Clone()
+	v.statics = append([]heap.Ref(nil), s.statics...)
+	v.stackRing = append([]heap.Ref(nil), s.stackRing...)
+	v.tables = append([]heap.Ref(nil), s.tables...)
+	v.ringPos = s.ringPos
+	v.lastAlloc = s.lastAlloc
+	v.metaBytes = s.metaBytes
+	v.chains = append([]chain(nil), s.chains...)
+	v.chainTotal = s.chainTotal
+	v.invoked = append([]bool(nil), s.invoked...)
+	v.rngState = s.rngState
+	v.pendingMutInstr = s.pendingMutInstr
+	col, err := gc.RestorePrefix(v.cfg.HeapSize, gc.Env{
+		Heap:         v.heap,
+		Roots:        (*vmRoots)(v),
+		OnCollection: v.onCollection,
+		Seed:         v.cfg.Seed,
+	}, s.col)
+	if err != nil {
+		return err
+	}
+	v.col = col
+	return nil
+}
+
+// replayLocality recomputes a replayed App slice's locality for this VM's
+// heap size, replicating the batch loop's expression exactly (term order
+// included) so the result is bit-identical to a live run's.
+func (v *VM) replayLocality(p *BehaviorProfile, plan string, seg int64, obs gc.PrefixObs) float64 {
+	locality := p.Locality * (gc.ReplayMutatorLocality(plan, v.cfg.HeapSize, obs) / 0.80)
+	locality += v.phaseModulation(seg, p)
+	if locality < 0 {
+		locality = 0
+	}
+	if locality > 1 {
+		locality = 1
+	}
+	if v.inBurst(seg, p) {
+		locality += 0.08
+		if locality > 0.98 {
+			locality = 0.98
+		}
+	}
+	return locality
+}
+
+// RunProfileFrom executes p, replaying the longest usable prefix of trace:
+// recorded slices are re-emitted (App locality recomputed for this heap),
+// the deepest snapshot whose boundary fits this heap is restored, and
+// execution continues live from its segment. Returns whether any prefix
+// was reused; false means the trace was unusable (no fitting snapshot, or
+// a different plan) and the run executed fully live.
+func (v *VM) RunProfileFrom(p BehaviorProfile, trace *SegmentTrace) (bool, error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	if trace == nil || trace.plan != v.col.Name() {
+		return false, v.runProfile(p, nil)
+	}
+	var snap *Snapshot
+	for _, s := range trace.snaps {
+		if gc.PrefixFits(trace.plan, v.cfg.HeapSize, s.boundary.used, s.boundary.maxObj) &&
+			(snap == nil || s.seg > snap.seg) {
+			snap = s
+		}
+	}
+	if snap == nil {
+		return false, v.runProfile(p, nil)
+	}
+	for _, rs := range trace.prologue {
+		v.exec.Execute(rs.id, rs.s)
+	}
+	for i := int64(0); i < snap.seg; i++ {
+		seg := trace.segs[i]
+		for _, rs := range seg.slices {
+			s := rs.s
+			if rs.id == component.App {
+				s.Locality = v.replayLocality(&p, trace.plan, i, seg.obs)
+			}
+			v.exec.Execute(rs.id, s)
+		}
+	}
+	if err := v.restoreSnapshot(snap); err != nil {
+		return false, err
+	}
+	return true, v.runProfile(p, &resumePoint{seg: snap.seg, loop: snap.loop})
+}
+
+// --- Memo store ---
+
+// MemoStats is a point-in-time view of a MemoStore's counters.
+type MemoStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+	Budget    int64
+}
+
+type memoEntry struct {
+	key   string
+	trace *SegmentTrace
+}
+
+// MemoStore is a byte-budgeted LRU cache of segment traces, keyed by the
+// sweep group's config-invariant identity plus seed. It is safe for
+// concurrent use; traces it returns are immutable and remain valid after
+// eviction (eviction only drops the store's reference).
+type MemoStore struct {
+	mu      sync.Mutex
+	lru     *list.List // of *memoEntry; front = most recently used
+	byKey   map[string]*list.Element
+	budget  int64
+	used    int64
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+// DefaultMemoBudget is the store budget when none is given: a quarter of
+// the Go soft memory limit when one is set, else 256 MB.
+func DefaultMemoBudget() int64 {
+	if limit := debug.SetMemoryLimit(-1); limit > 0 && limit < math.MaxInt64 {
+		return limit / 4
+	}
+	return 256 << 20
+}
+
+// NewMemoStore returns a store holding at most budget bytes of trace state
+// (estimated); budget <= 0 selects DefaultMemoBudget.
+func NewMemoStore(budget int64) *MemoStore {
+	if budget <= 0 {
+		budget = DefaultMemoBudget()
+	}
+	return &MemoStore{
+		lru:    list.New(),
+		byKey:  make(map[string]*list.Element),
+		budget: budget,
+	}
+}
+
+// Lookup returns the trace for key, counting a hit or miss.
+func (m *MemoStore) Lookup(key string) (*SegmentTrace, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[key]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	m.lru.MoveToFront(el)
+	return el.Value.(*memoEntry).trace, true
+}
+
+// Store inserts (or replaces) key's trace, evicting least-recently-used
+// entries until the budget holds. A trace larger than the whole budget is
+// not stored.
+func (m *MemoStore) Store(key string, trace *SegmentTrace) {
+	if trace == nil || trace.bytes > m.budget {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		m.used -= el.Value.(*memoEntry).trace.bytes
+		m.lru.Remove(el)
+		delete(m.byKey, key)
+	}
+	for m.used+trace.bytes > m.budget {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*memoEntry)
+		m.used -= ev.trace.bytes
+		m.lru.Remove(back)
+		delete(m.byKey, ev.key)
+		m.evicted++
+	}
+	m.byKey[key] = m.lru.PushFront(&memoEntry{key: key, trace: trace})
+	m.used += trace.bytes
+}
+
+// Stats returns the store's counters.
+func (m *MemoStore) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{
+		Hits: m.hits, Misses: m.misses, Evictions: m.evicted,
+		Entries: m.lru.Len(), Bytes: m.used, Budget: m.budget,
+	}
+}
+
+// SegmentCount reports how many segments trace recorded (tests).
+func (t *SegmentTrace) SegmentCount() int { return len(t.segs) }
+
+// SnapshotCount reports how many boundary snapshots trace holds (tests).
+func (t *SegmentTrace) SnapshotCount() int { return len(t.snaps) }
