@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci fuzz fuzz-smoke bench bench-overhead bench-faults bench-isolate bench-memo bench-smoke
+.PHONY: build test vet race check ci fuzz fuzz-smoke bench bench-overhead bench-faults bench-isolate bench-memo bench-steady bench-gate bench-smoke
 
 build:
 	$(GO) build ./...
@@ -66,10 +66,33 @@ bench-isolate:
 	./bench.sh BENCH_4.json isolate
 
 # bench-memo regenerates BENCH_5.json: the sweep-fork memoization speedup
-# on the Fig. 7 hot path, measured as medians with min/max spread against
-# the frozen BENCH_4 median (acceptance floor 2x).
+# on the Fig. 7 hot path; the comparison is significance-tested and the
+# frozen BENCH_4 median rides along as an environment-tagged legacy
+# baseline (the 2x acceptance floor was recorded on that machine).
 bench-memo:
 	./bench.sh BENCH_5.json memo
+
+# bench-steady regenerates BENCH_6.json: one in-process series of the
+# Fig. 7 benchmark bare and memoized with per-iteration timings, segmented
+# into warmup and steady state by changepoint detection, with bootstrap
+# percentile CIs on the steady-state medians and a Mann–Whitney-tested
+# memo_vs_bare comparison. This is the statistics-sound successor to the
+# repetition modes above.
+bench-steady:
+	./bench.sh BENCH_6.json steady
+
+# bench-gate is the CI regression gate's self-consistency check: two
+# independent gate-mode passes of the Fig. 7 benchmark on the same SHA,
+# diffed with a significance test. Same code, same machine → the diff
+# must be clean; `benchgate diff` exits nonzero only on a statistically
+# significant regression above budget, so benchmark noise alone cannot
+# fail CI. The complementary direction — a synthetically slowed build
+# MUST fire the gate — is enforced by TestDiffGateFiresOnInjectedSlowdown
+# in internal/benchstat.
+bench-gate:
+	./bench.sh bench-gate-a.json gate
+	./bench.sh bench-gate-b.json gate
+	$(GO) run ./cmd/benchgate diff bench-gate-a.json bench-gate-b.json -budget 5
 
 # bench-smoke is the CI-sized benchmark gate: one repetition of the Fig. 7
 # benchmark bare and with the memo store enabled. It is a correctness

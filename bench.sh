@@ -3,40 +3,41 @@
 #
 # Usage:  ./bench.sh [output.json] [mode]
 #
-# Modes:
-#   figures   (default) the headline figure benchmarks vs the frozen
-#             seed-state baseline (BENCH_1.json).
-#   overhead  the observability-layer overhead experiment: Figure 7
-#             regenerated bare vs with the metrics registry + run journal
-#             enabled (BENCH_2.json). The instrumented/bare ns/op ratio is
-#             the pipeline's self-measurement cost; the budget is <1%.
-#   faults    the fault-injection disabled-path experiment: Figure 7
-#             regenerated bare vs with a zero-rate fault plan attached
-#             (BENCH_3.json). A zero-rate plan installs no injectors, so
-#             the ratio prices the nil checks the fault layer threads
-#             through the measurement chain; the budget is <1%.
-#   isolate   the process-isolation disabled-path experiment: Figure 7
-#             regenerated bare vs with the isolation machinery reachable
-#             but no supervisor attached (BENCH_4.json). vs_pr3_pct
-#             additionally compares against the frozen PR 3 BENCH_3
-#             baseline of the same benchmark; the budget is <1%.
-#   memo      the sweep-fork memoization experiment: Figure 7 regenerated
-#             bare vs with the segment-trace memo store enabled
-#             (BENCH_5.json). speedup_vs_bench4_x compares the memo-enabled
-#             median against the frozen BENCH_4 median of BenchmarkFig7EDP;
-#             the acceptance floor is 2x.
+# The statistics live in cmd/benchgate (internal/benchstat): a strict
+# parser for `go test -bench` output (malformed lines and short rep
+# counts are errors, never silent zeros), Mann–Whitney-tested comparisons
+# with bootstrap CIs on the effect, and — in the iteration modes —
+# warmup/steady-state segmentation of in-process per-iteration timings
+# with a bootstrap CI on the steady-state median. Every file records the
+# machine/build environment (goos/goarch/CPU model, GOMAXPROCS, git SHA);
+# frozen baselines from earlier PRs are carried as environment-tagged
+# legacy context, not claims.
 #
-# Runs each benchmark with -benchmem and COUNT repetitions, and writes a
-# JSON file containing, per benchmark, the per-repetition ns/op plus the
-# median and min/max spread. Comparisons between two benchmarks report the
-# median-based effect alongside the fastest-rep estimator, and carry a
-# below_noise flag set when the effect is smaller than the larger of the
-# two benchmarks' rep spreads — a published overhead or speedup number is
-# only a claim when below_noise is false.
+# Repetition modes (N independent `go test` repetitions, -count=$COUNT):
+#   figures   (default) the headline figure benchmarks; the frozen seed
+#             numbers ride along as legacy baselines (BENCH_1.json).
+#   overhead  Figure 7 bare vs observability layer on (BENCH_2.json).
+#   faults    Figure 7 bare vs zero-rate fault plan (BENCH_3.json).
+#   isolate   Figure 7 bare vs isolation-reachable-but-off (BENCH_4.json).
+#   memo      Figure 7 bare vs sweep-fork memoization (BENCH_5.json).
+#
+# Iteration modes (one in-process series of $ITERS iterations, timed
+# per-iteration via the harness -iters flag, warmup-segmented):
+#   steady    Figure 7 bare + memoized with steady-state bootstrap CIs
+#             and a significance-tested memo_vs_bare comparison
+#             (BENCH_6.json).
+#   gate      Figure 7 bare only, fewer iterations: the CI regression
+#             gate's input. Run twice on the same SHA, the two reports
+#             must `benchgate diff` clean; a slowed build must not.
+#
+# Env knobs: COUNT (reps, default 5), ITERS (iterations, default 12 for
+# steady / 8 for gate), GATE_PATTERN (override the gate benchmark set).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 MODE=${2:-figures}
+COUNT=${COUNT:-5}
+ITERS_MODE=0
 case "$MODE" in
 figures)
     OUT=${1:-BENCH_1.json}
@@ -58,118 +59,43 @@ memo)
     OUT=${1:-BENCH_5.json}
     PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPMemo$'
     ;;
+steady)
+    OUT=${1:-BENCH_6.json}
+    PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPMemo$'
+    ITERS=${ITERS:-12}
+    ITERS_MODE=1
+    ;;
+gate)
+    OUT=${1:-BENCH_GATE.json}
+    PATTERN=${GATE_PATTERN:-'BenchmarkFig7EDP$'}
+    ITERS=${ITERS:-8}
+    ITERS_MODE=1
+    ;;
 *)
-    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults|isolate|memo)" >&2
+    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults|isolate|memo|steady|gate)" >&2
     exit 2
     ;;
 esac
-COUNT=${COUNT:-5}
 
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+ITERS_JSONL=$(mktemp)
+trap 'rm -f "$TMP" "$ITERS_JSONL"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$TMP" >&2
-
-awk -v count="$COUNT" -v mode="$MODE" '
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix if present
-    reps[name]++
-    vals[name, reps[name]] = $3 + 0
-    ns[name] = ns[name] (ns[name] ? "," : "") $3
-    if (!(name in min) || $3 + 0 < min[name]) min[name] = $3 + 0
-    if (!(name in max) || $3 + 0 > max[name]) max[name] = $3 + 0
-    bytes[name] = $5
-    allocs[name] = $7
-    order[name] = 1
-}
-# median of a benchmark'"'"'s repetitions (insertion sort; rep counts are tiny)
-function median(name,  n, i, j, t, a) {
-    n = reps[name]
-    for (i = 1; i <= n; i++) a[i] = vals[name, i]
-    for (i = 2; i <= n; i++) {
-        t = a[i]
-        for (j = i - 1; j >= 1 && a[j] > t; j--) a[j + 1] = a[j]
-        a[j + 1] = t
-    }
-    if (n % 2) return a[(n + 1) / 2]
-    return (a[n / 2] + a[n / 2 + 1]) / 2
-}
-# spread of a benchmark: max - min over its repetitions
-function spread(name) { return max[name] - min[name] }
-# below-noise: the effect between two benchmarks is smaller than the larger
-# of their rep spreads
-function belownoise(a, b,  eff, sp) {
-    eff = median(a) - median(b)
-    if (eff < 0) eff = -eff
-    sp = spread(a)
-    if (spread(b) > sp) sp = spread(b)
-    return (eff < sp) ? "true" : "false"
-}
-# emit the comparison block for a (variant, bare) pair: median-based
-# overhead, the legacy fastest-rep estimator, and the noise flag
-function comparison(variant, bare) {
-    printf ",\n  \"overhead_pct\": %.3f", (median(variant) / median(bare) - 1) * 100
-    printf ",\n  \"overhead_fastest_rep_pct\": %.3f", (min[variant] / min[bare] - 1) * 100
-    printf ",\n  \"below_noise\": %s", belownoise(variant, bare)
-}
-END {
-    printf "{\n"
-    if (mode == "overhead") {
-        printf "  \"description\": \"Observability-layer overhead on the Fig. 7 hot path: bare vs metrics registry + JSONL journal enabled. overhead_pct compares medians; overhead_fastest_rep_pct is the legacy fastest-rep estimator; below_noise is true when the median effect is smaller than the larger benchmark rep spread (max-min), in which case the overhead number is not a claim. The budget is <1%%.\",\n"
-    } else if (mode == "faults") {
-        printf "  \"description\": \"Fault-injection disabled-path overhead on the Fig. 7 hot path: bare vs a zero-rate fault plan attached (no injectors installed, only the nil checks threaded through the DAQ, sense channels, HPM sampler, and retry loop). overhead_pct compares medians; below_noise is true when the effect is smaller than the rep spread. The budget is <1%%.\",\n"
-    } else if (mode == "isolate") {
-        printf "  \"description\": \"Process-isolation disabled-path overhead on the Fig. 7 hot path: bare vs the isolation machinery reachable but no supervisor attached (runPoint takes the in-process branch; breakers never materialize). overhead_pct compares medians; below_noise is true when the effect is smaller than the rep spread; vs_pr3_pct compares the isolate-off fastest rep against the frozen PR 3 BENCH_3 baseline of BenchmarkFig7EDP. Both budgets are <1%%.\",\n"
-    } else if (mode == "memo") {
-        printf "  \"description\": \"Sweep-fork memoization on the Fig. 7 hot path: bare vs the segment-trace memo store enabled (heap sweeps fork followers from the leader'"'"'s recorded prefix; the benchmark fails unless the store hits). speedup_vs_bench4_x divides the frozen BENCH_4 median of BenchmarkFig7EDP by the memo-enabled median (acceptance floor 2x); memo_vs_bare_pct compares memo against bare medians, below_noise set when that effect is smaller than the rep spread. Figures are byte-identical with the store on or off — the determinism suite enforces it.\",\n"
-    } else {
-        printf "  \"description\": \"Figure-benchmark evidence: per-repetition ns/op with median and min/max spread, vs the frozen pre-batching seed baseline.\",\n"
-    }
-    printf "  \"command\": \"go test -run ^$ -bench ... -benchmem -count=%d .\",\n", count
-    if (mode == "figures") {
-        printf "  \"baseline_seed\": {\n"
-        printf "    \"BenchmarkCharacterizeJavac\":       {\"ns_per_op\": [161529744, 160801713, 164102316], \"bytes_per_op\": 126693666, \"allocs_per_op\": 908304},\n"
-        printf "    \"BenchmarkFig6EnergyDecomposition\": {\"ns_per_op\": [1809664787, 1625820009, 1578692678], \"bytes_per_op\": 1815388632, \"allocs_per_op\": 4508447},\n"
-        printf "    \"BenchmarkFig7EDP\":                 {\"ns_per_op\": [7921246223, 9045773862, 8713729854], \"bytes_per_op\": 7822477360, \"allocs_per_op\": 22223631},\n"
-        printf "    \"BenchmarkFig8Power\":               {\"ns_per_op\": [7083825582, 6594173793, 6671900379], \"bytes_per_op\": 6405802048, \"allocs_per_op\": 18044152}\n"
-        printf "  },\n"
-    }
-    printf "  \"current\": {\n"
-    n = 0
-    for (name in order) n++
-    i = 0
-    for (name in order) {
-        i++
-        printf "    \"%s\": {\"ns_per_op\": [%s], \"median_ns_per_op\": %.0f, \"min_ns_per_op\": %.0f, \"max_ns_per_op\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            name, ns[name], median(name), min[name], max[name], bytes[name], allocs[name], (i < n ? "," : "")
-    }
-    printf "  }"
-    if (mode == "overhead" && reps["BenchmarkFig7EDP"] > 0 && reps["BenchmarkFig7EDPInstrumented"] > 0) {
-        comparison("BenchmarkFig7EDPInstrumented", "BenchmarkFig7EDP")
-    }
-    if (mode == "faults" && reps["BenchmarkFig7EDP"] > 0 && reps["BenchmarkFig7EDPFaultsZero"] > 0) {
-        comparison("BenchmarkFig7EDPFaultsZero", "BenchmarkFig7EDP")
-    }
-    if (mode == "isolate" && reps["BenchmarkFig7EDP"] > 0 && reps["BenchmarkFig7EDPIsolateOff"] > 0) {
-        # PR 3 baseline: the fastest BenchmarkFig7EDP repetition frozen in
-        # BENCH_3.json (min of its ns_per_op array).
-        pr3 = 3821362947
-        comparison("BenchmarkFig7EDPIsolateOff", "BenchmarkFig7EDP")
-        printf ",\n  \"baseline_pr3_ns_per_op\": %.0f", pr3
-        printf ",\n  \"vs_pr3_pct\": %.3f", (min["BenchmarkFig7EDPIsolateOff"] / pr3 - 1) * 100
-    }
-    if (mode == "memo" && reps["BenchmarkFig7EDP"] > 0 && reps["BenchmarkFig7EDPMemo"] > 0) {
-        # PR 4 baseline: the median BenchmarkFig7EDP repetition frozen in
-        # BENCH_4.json (median of its ns_per_op array).
-        pr4 = 4020391040
-        printf ",\n  \"baseline_bench4_median_ns_per_op\": %.0f", pr4
-        printf ",\n  \"speedup_vs_bench4_x\": %.2f", pr4 / median("BenchmarkFig7EDPMemo")
-        printf ",\n  \"bare_speedup_vs_bench4_x\": %.2f", pr4 / median("BenchmarkFig7EDP")
-        printf ",\n  \"memo_vs_bare_pct\": %.3f", (median("BenchmarkFig7EDPMemo") / median("BenchmarkFig7EDP") - 1) * 100
-        printf ",\n  \"below_noise\": %s", belownoise("BenchmarkFig7EDPMemo", "BenchmarkFig7EDP")
-    }
-    printf "\n}\n"
-}' "$TMP" > "$OUT"
+if [ "$ITERS_MODE" = 1 ]; then
+    # One in-process series: fixed iteration count, per-iteration timings
+    # appended as JSONL by the harness -iters flag (go test's 1-iteration
+    # sizing probe lands in the series too — a genuinely cold first
+    # sample, exactly what warmup segmentation is for).
+    CMD="go test -run ^$ -bench $PATTERN -benchmem -benchtime=${ITERS}x -count=1 . -args -iters <jsonl>"
+    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="${ITERS}x" -count=1 . \
+        -args -iters "$ITERS_JSONL" | tee "$TMP" >&2
+    go run ./cmd/benchgate report -mode "$MODE" -count 1 -iters "$ITERS_JSONL" \
+        -command "$CMD" -out "$OUT" < "$TMP"
+else
+    CMD="go test -run ^$ -bench $PATTERN -benchmem -count=$COUNT ."
+    go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$TMP" >&2
+    go run ./cmd/benchgate report -mode "$MODE" -count "$COUNT" \
+        -command "$CMD" -out "$OUT" < "$TMP"
+fi
 
 echo "wrote $OUT" >&2

@@ -11,6 +11,7 @@ package jvmpower_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"jvmpower/internal/core"
 	"jvmpower/internal/cpu"
@@ -25,15 +26,19 @@ import (
 	"jvmpower/internal/workloads"
 )
 
-// benchFigure runs one figure in quick mode per iteration.
+// benchFigure runs one figure in quick mode per iteration. Under -iters
+// each iteration's wall-clock time is appended to the JSONL series the
+// statistics layer segments into warmup and steady state.
 func benchFigure(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		r := experiments.NewRunner(io.Discard)
 		r.Quick = true
 		if err := r.RunFigure(name); err != nil {
 			b.Fatal(err)
 		}
+		logIter(b, time.Since(t0))
 	}
 }
 
@@ -77,6 +82,7 @@ func BenchmarkFig11Embedded(b *testing.B) { benchFigure(b, "fig11") }
 // mode records both in BENCH_2.json; the budget is <1%.
 func BenchmarkFig7EDPInstrumented(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		r := experiments.NewRunner(io.Discard)
 		r.Quick = true
 		r.Metrics = metrics.NewRegistry()
@@ -90,6 +96,7 @@ func BenchmarkFig7EDPInstrumented(b *testing.B) {
 		if r.Metrics.Counter("experiments.points.completed").Value() == 0 {
 			b.Fatal("instrumented run observed no points")
 		}
+		logIter(b, time.Since(t0))
 	}
 }
 
@@ -106,6 +113,7 @@ func BenchmarkFig7EDPFaultsZero(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		r := experiments.NewRunner(io.Discard)
 		r.Quick = true
 		r.Faults = plan
@@ -115,6 +123,7 @@ func BenchmarkFig7EDPFaultsZero(b *testing.B) {
 		if len(r.Faulted()) != 0 {
 			b.Fatal("zero-rate plan degraded points")
 		}
+		logIter(b, time.Since(t0))
 	}
 }
 
@@ -127,6 +136,7 @@ func BenchmarkFig7EDPFaultsZero(b *testing.B) {
 // along with the PR 3 baseline, and the budget against that baseline is <1%.
 func BenchmarkFig7EDPIsolateOff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		r := experiments.NewRunner(io.Discard)
 		r.Quick = true
 		r.BreakerThreshold = 3
@@ -136,6 +146,7 @@ func BenchmarkFig7EDPIsolateOff(b *testing.B) {
 		if r.BreakerTripped("fig7") {
 			b.Fatal("breaker materialized without a supervisor")
 		}
+		logIter(b, time.Since(t0))
 	}
 }
 
@@ -149,6 +160,7 @@ func BenchmarkFig7EDPIsolateOff(b *testing.B) {
 // not a silently disabled path.
 func BenchmarkFig7EDPMemo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		r := experiments.NewRunner(io.Discard)
 		r.Quick = true
 		r.Memo = vm.NewMemoStore(0)
@@ -158,6 +170,7 @@ func BenchmarkFig7EDPMemo(b *testing.B) {
 		if s := r.Memo.Stats(); s.Hits == 0 {
 			b.Fatalf("memo store never hit: %+v", s)
 		}
+		logIter(b, time.Since(t0))
 	}
 }
 
@@ -185,6 +198,7 @@ func BenchmarkCharacterizeJavac(b *testing.B) {
 	profile := bench.Profile.Scale(0.25)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		_, err := core.Characterize(core.RunConfig{
 			Platform: platform.P6(),
 			VM:       vm.Config{Flavor: vm.Jikes, Collector: "GenCopy", HeapSize: 64 * units.MB, Seed: 1},
@@ -195,6 +209,7 @@ func BenchmarkCharacterizeJavac(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		logIter(b, time.Since(t0))
 	}
 }
 

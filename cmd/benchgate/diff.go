@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jvmpower/internal/benchstat"
+)
+
+// runDiff compares two reports and returns whether the gate failed. The
+// positional OLD.json NEW.json arguments may appear before or after the
+// flags (flag.Parse stops at the first non-flag, so accept both shapes).
+func runDiff(args []string) (failed bool, err error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	budget := fs.Float64("budget", 2, "regression budget in percent: smaller significant slowdowns do not gate")
+	alpha := fs.Float64("alpha", 0.05, "significance level")
+	seed := fs.Int64("seed", 1, "bootstrap resampling seed")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	pos := fs.Args()
+	if len(pos) > 2 {
+		// Flags trailed the positionals; re-parse the remainder.
+		if err := fs.Parse(pos[2:]); err != nil {
+			return false, err
+		}
+		pos = pos[:2]
+	}
+	if len(pos) != 2 {
+		return false, fmt.Errorf("diff needs exactly two report files, got %d", len(pos))
+	}
+	oldR, err := benchstat.ReadReport(pos[0])
+	if err != nil {
+		return false, err
+	}
+	newR, err := benchstat.ReadReport(pos[1])
+	if err != nil {
+		return false, err
+	}
+	d := benchstat.Diff(oldR, newR, benchstat.DiffOptions{
+		Alpha:     *alpha,
+		BudgetPct: *budget,
+		Seed:      *seed,
+	})
+	if len(d.Rows) == 0 {
+		return false, fmt.Errorf("no benchmark appears in both %s and %s", pos[0], pos[1])
+	}
+	d.WriteText(os.Stdout)
+	return d.Failed(), nil
+}

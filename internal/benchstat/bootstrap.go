@@ -1,0 +1,100 @@
+package benchstat
+
+import (
+	"math/rand"
+	"sort"
+
+	"jvmpower/internal/stats"
+)
+
+// CI is a bootstrap percentile confidence interval on a statistic.
+type CI struct {
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Confidence float64 `json:"confidence"` // e.g. 0.95
+	Resamples  int     `json:"resamples"`
+}
+
+// DefaultResamples is the bootstrap resample count used when a caller
+// passes 0. 2000 keeps the percentile estimates stable to well under the
+// interval widths seen at benchmark sample sizes.
+const DefaultResamples = 2000
+
+// BootstrapMedianCI computes a percentile-bootstrap confidence interval
+// on the median of xs. The resampling RNG is seeded deterministically so
+// the same samples always yield the same interval — evidence files must
+// be reproducible from their inputs.
+func BootstrapMedianCI(xs []float64, confidence float64, resamples int, seed int64) CI {
+	return bootstrapCI(confidence, resamples, seed, func(rng *rand.Rand, buf []float64) float64 {
+		return stats.Median(resample(rng, xs, buf))
+	}, len(xs))
+}
+
+// BootstrapEffectCI computes a percentile-bootstrap CI on the relative
+// effect (median(a)/median(b) − 1)·100 — the percent change of a against
+// baseline b. Both sides are resampled independently.
+func BootstrapEffectCI(a, b []float64, confidence float64, resamples int, seed int64) CI {
+	bufB := make([]float64, len(b))
+	rngB := rand.New(rand.NewSource(seed ^ 0x5851f42d4c957f2d))
+	return bootstrapCI(confidence, resamples, seed, func(rng *rand.Rand, bufA []float64) float64 {
+		ma := stats.Median(resample(rng, a, bufA))
+		mb := stats.Median(resample(rngB, b, bufB))
+		if mb == 0 {
+			return 0
+		}
+		return (ma/mb - 1) * 100
+	}, len(a))
+}
+
+func bootstrapCI(confidence float64, resamples int, seed int64, stat func(*rand.Rand, []float64) float64, n int) CI {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	if resamples <= 0 {
+		resamples = DefaultResamples
+	}
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]float64, n)
+	estimates := make([]float64, resamples)
+	for i := range estimates {
+		estimates[i] = stat(rng, buf)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - confidence) / 2
+	return CI{
+		Lo:         quantileSorted(estimates, alpha),
+		Hi:         quantileSorted(estimates, 1-alpha),
+		Confidence: confidence,
+		Resamples:  resamples,
+	}
+}
+
+// resample fills buf with len(xs) draws from xs with replacement.
+func resample(rng *rand.Rand, xs, buf []float64) []float64 {
+	buf = buf[:len(xs)]
+	for i := range buf {
+		buf[i] = xs[rng.Intn(len(xs))]
+	}
+	return buf
+}
+
+// quantileSorted reads the q-quantile (0..1) off an already-sorted slice
+// with linear interpolation.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := q * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,90 @@
+package benchstat
+
+import "math"
+
+// WarmupSplit returns the number of leading iterations of xs to classify
+// as warmup, leaving xs[warmup:] as the steady-state segment.
+//
+// It runs iterative binary changepoint segmentation on the series mean:
+// the best two-segment fit is accepted over the one-segment fit when it
+// wins under a BIC-style penalty (n·ln(SSE1/SSE2) > 2·ln n), and the
+// prefix before the changepoint is peeled off and the search repeated —
+// real warmup often has several phases (first iteration page faults, then
+// a cache-filling shoulder). This is the cheap cousin of the PELT
+// segmentation "Virtual Machine Warmup Blows Hot and Cold" uses; the
+// simplification is safe here because we only need the final steady
+// segment, not every phase boundary.
+//
+// Total warmup is capped at half the series so a steady segment always
+// remains, and series shorter than minSeriesLen are returned whole
+// (warmup 0): with so few samples a split is indistinguishable from
+// noise.
+func WarmupSplit(xs []float64) int {
+	const minSeriesLen = 6
+	warmup := 0
+	cap := len(xs) / 2
+	for {
+		rest := xs[warmup:]
+		if len(rest) < minSeriesLen || warmup >= cap {
+			return warmup
+		}
+		k := bestSplit(rest, cap-warmup)
+		if k == 0 {
+			return warmup
+		}
+		warmup += k
+	}
+}
+
+// bestSplit finds the split k (1 <= k <= maxK) minimizing the two-segment
+// sum of squared errors and returns it if it beats the one-segment fit
+// under the BIC penalty, else 0. minSteady samples must remain after the
+// split.
+func bestSplit(xs []float64, maxK int) int {
+	const minSteady = 3
+	n := len(xs)
+	if maxK > n-minSteady {
+		maxK = n - minSteady
+	}
+	if maxK < 1 {
+		return 0
+	}
+	// Prefix sums make SSE(a..b) = Σx² − (Σx)²/len an O(1) query.
+	sum := make([]float64, n+1)
+	sumsq := make([]float64, n+1)
+	for i, x := range xs {
+		sum[i+1] = sum[i] + x
+		sumsq[i+1] = sumsq[i] + x*x
+	}
+	sse := func(a, b int) float64 { // [a, b)
+		m := float64(b - a)
+		s := sum[b] - sum[a]
+		v := (sumsq[b] - sumsq[a]) - s*s/m
+		if v < 0 { // rounding
+			v = 0
+		}
+		return v
+	}
+	sse1 := sse(0, n)
+	bestK, bestSSE := 0, math.Inf(1)
+	for k := 1; k <= maxK; k++ {
+		if s := sse(0, k) + sse(k, n); s < bestSSE {
+			bestK, bestSSE = k, s
+		}
+	}
+	if bestK == 0 {
+		return 0
+	}
+	// BIC-style acceptance: the split costs two extra parameters (a second
+	// mean and the changepoint location), each priced ln n.
+	if bestSSE == 0 {
+		if sse1 > 0 {
+			return bestK
+		}
+		return 0 // constant series: no information, no split
+	}
+	if float64(n)*math.Log(sse1/bestSSE) > 2*math.Log(float64(n)) {
+		return bestK
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+package benchstat
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"jvmpower/internal/stats"
+)
+
+// DiffOptions tune the regression gate.
+type DiffOptions struct {
+	Alpha     float64 // significance level; <=0 → 0.05
+	BudgetPct float64 // regressions below this size never gate; <=0 → 2%
+	Seed      int64   // bootstrap seed; 0 → 1
+}
+
+// DiffRow is the comparison of one benchmark across two reports.
+type DiffRow struct {
+	Name        string
+	OldMedian   float64
+	NewMedian   float64
+	EffectPct   float64 // (new/old − 1)·100; positive = slower
+	EffectCI    CI
+	P           float64
+	Significant bool
+	Regression  bool // significant, slower, and above budget
+	Note        string
+}
+
+// DiffResult is the outcome of diffing two reports.
+type DiffResult struct {
+	Rows             []DiffRow
+	CrossEnvironment bool   // environments differ; rows are labels, not claims
+	EnvironmentNote  string // human-readable mismatch description
+	Alpha, BudgetPct float64
+}
+
+// Failed reports whether the gate should fail: at least one same-
+// environment statistically significant regression above budget. A
+// cross-environment diff never fails — those numbers are context, and
+// gating on them would launder a machine change into a code regression.
+func (d *DiffResult) Failed() bool {
+	if d.CrossEnvironment {
+		return false
+	}
+	for _, r := range d.Rows {
+		if r.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff compares every benchmark present in both reports. A regression is
+// declared only when the rank test and the bootstrap effect CI agree the
+// new build is slower AND the median effect exceeds the budget — a
+// significant 0.3% slowdown is real but not actionable, and an
+// insignificant 10% one is noise, not evidence.
+func Diff(oldR, newR *Report, opt DiffOptions) *DiffResult {
+	if opt.Alpha <= 0 {
+		opt.Alpha = 0.05
+	}
+	if opt.BudgetPct <= 0 {
+		opt.BudgetPct = 2
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	res := &DiffResult{Alpha: opt.Alpha, BudgetPct: opt.BudgetPct}
+	if !oldR.Environment.Same(newR.Environment) {
+		res.CrossEnvironment = true
+		res.EnvironmentNote = fmt.Sprintf(
+			"environments differ (old %s/%s %q x%d, new %s/%s %q x%d): cross-environment numbers are labeled context, not regression claims",
+			oldR.Environment.GOOS, oldR.Environment.GOARCH, oldR.Environment.CPU, oldR.Environment.GOMAXPROCS,
+			newR.Environment.GOOS, newR.Environment.GOARCH, newR.Environment.CPU, newR.Environment.GOMAXPROCS)
+	}
+	names := make([]string, 0, len(oldR.Benchmarks))
+	for name := range oldR.Benchmarks {
+		if _, ok := newR.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ob, nb := oldR.Benchmarks[name], newR.Benchmarks[name]
+		os, ns := ob.Samples(), nb.Samples()
+		row := DiffRow{
+			Name:      name,
+			OldMedian: stats.Median(os),
+			NewMedian: stats.Median(ns),
+		}
+		if row.OldMedian != 0 {
+			row.EffectPct = (row.NewMedian/row.OldMedian - 1) * 100
+		}
+		if len(os) < 3 || len(ns) < 3 {
+			row.Note = "insufficient samples for significance (need >= 3 per side)"
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		row.EffectCI = BootstrapEffectCI(ns, os, 0.95, DefaultResamples, opt.Seed)
+		row.P = MannWhitneyP(ns, os)
+		row.Significant = row.P < opt.Alpha && (row.EffectCI.Lo > 0 || row.EffectCI.Hi < 0)
+		row.Regression = row.Significant && row.EffectPct > opt.BudgetPct
+		if res.CrossEnvironment {
+			row.Regression = false
+			row.Note = "cross-environment: labeled, not gated"
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// WriteText renders the diff as a human-readable table with the verdict.
+func (d *DiffResult) WriteText(w io.Writer) {
+	if d.EnvironmentNote != "" {
+		fmt.Fprintf(w, "note: %s\n", d.EnvironmentNote)
+	}
+	fmt.Fprintf(w, "%-40s %14s %14s %9s %22s %8s  %s\n",
+		"benchmark", "old median", "new median", "delta", "95% CI", "p", "verdict")
+	for _, r := range d.Rows {
+		var verdict string
+		switch {
+		case r.EffectCI.Resamples == 0: // significance never computed
+			verdict = "skipped"
+		case d.CrossEnvironment:
+			verdict = "cross-environment (labeled, not gated)"
+		case r.Regression:
+			verdict = "REGRESSION"
+		case r.Significant && r.EffectPct > 0:
+			verdict = "slower (within budget)"
+		case r.Significant && r.EffectPct < 0:
+			verdict = "faster"
+		default:
+			verdict = "no significant change"
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.2f%% [%+7.2f%%, %+7.2f%%] %8.4f  %s\n",
+			r.Name, r.OldMedian, r.NewMedian, r.EffectPct, r.EffectCI.Lo, r.EffectCI.Hi, r.P, verdict)
+		if r.Note != "" {
+			fmt.Fprintf(w, "%-40s   %s\n", "", r.Note)
+		}
+	}
+	if d.Failed() {
+		fmt.Fprintf(w, "gate: FAIL (significant regression above %.1f%% budget at alpha %.2f)\n", d.BudgetPct, d.Alpha)
+	} else {
+		fmt.Fprintf(w, "gate: ok (alpha %.2f, budget %.1f%%)\n", d.Alpha, d.BudgetPct)
+	}
+}

@@ -1,0 +1,126 @@
+package benchstat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// syntheticReport builds a report whose one benchmark has steady-state
+// samples drawn around center with the given relative noise.
+func syntheticReport(t *testing.T, name string, center, relNoise float64, n int, seed int64, env Environment) *Report {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = center * (1 + relNoise*rng.NormFloat64())
+	}
+	bench := &Benchmark{Name: name, NsPerOp: samples, Steady: samples}
+	return &Report{
+		Description: "synthetic",
+		Environment: env,
+		Benchmarks:  map[string]*Benchmark{name: bench},
+	}
+}
+
+var testEnv = Environment{GOOS: "linux", GOARCH: "amd64", CPU: "test-cpu", GOMAXPROCS: 8, NumCPU: 8, GoVersion: "go1.22"}
+
+// Same SHA, same distribution: the gate must hold (exit 0). This is the
+// unit-level mirror of the CI job that runs BenchmarkFig7EDP twice on one
+// commit and diffs the two reports.
+func TestDiffGateSelfConsistent(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		old := syntheticReport(t, "BenchmarkFig7EDP", 1.7e9, 0.01, 10, seed, testEnv)
+		new_ := syntheticReport(t, "BenchmarkFig7EDP", 1.7e9, 0.01, 10, seed+100, testEnv)
+		d := Diff(old, new_, DiffOptions{BudgetPct: 2})
+		if d.Failed() {
+			t.Fatalf("seed %d: same-distribution diff fired the gate: %+v", seed, d.Rows)
+		}
+	}
+}
+
+// Injected slowdown: a build made 30% slower must fire the gate. This is
+// the proof the regression check can actually fail — a gate that cannot
+// fire is decoration.
+func TestDiffGateFiresOnInjectedSlowdown(t *testing.T) {
+	old := syntheticReport(t, "BenchmarkFig7EDP", 1.7e9, 0.01, 10, 1, testEnv)
+	slowed := syntheticReport(t, "BenchmarkFig7EDP", 1.7e9*1.30, 0.01, 10, 2, testEnv)
+	d := Diff(old, slowed, DiffOptions{BudgetPct: 2})
+	if !d.Failed() {
+		t.Fatalf("30%% injected slowdown did not fire the gate: %+v", d.Rows)
+	}
+	row := d.Rows[0]
+	if !row.Significant || !row.Regression {
+		t.Fatalf("row not flagged: %+v", row)
+	}
+	if row.EffectPct < 20 || row.EffectPct > 40 {
+		t.Fatalf("effect %v%%, want ~30%%", row.EffectPct)
+	}
+	if row.P >= 0.05 {
+		t.Fatalf("p = %v, want < 0.05", row.P)
+	}
+	// And the improvement direction must NOT gate.
+	d = Diff(slowed, old, DiffOptions{BudgetPct: 2})
+	if d.Failed() {
+		t.Fatal("a speedup fired the regression gate")
+	}
+}
+
+// A significant but tiny regression stays within budget: real, reported,
+// not actionable.
+func TestDiffGateBudget(t *testing.T) {
+	old := syntheticReport(t, "BenchmarkFig7EDP", 1.0e9, 0.001, 12, 1, testEnv)
+	slight := syntheticReport(t, "BenchmarkFig7EDP", 1.01e9, 0.001, 12, 2, testEnv)
+	d := Diff(old, slight, DiffOptions{BudgetPct: 5})
+	if d.Failed() {
+		t.Fatalf("1%% slowdown fired a 5%% budget gate: %+v", d.Rows)
+	}
+	if !d.Rows[0].Significant {
+		t.Fatalf("1%% shift on 0.1%% noise should be significant: %+v", d.Rows[0])
+	}
+}
+
+// Cross-environment diffs are labeled, never gated: a new machine is not
+// a code regression.
+func TestDiffCrossEnvironmentNeverGates(t *testing.T) {
+	otherEnv := testEnv
+	otherEnv.CPU = "different-cpu"
+	old := syntheticReport(t, "BenchmarkFig7EDP", 1.0e9, 0.01, 10, 1, testEnv)
+	slowed := syntheticReport(t, "BenchmarkFig7EDP", 2.0e9, 0.01, 10, 2, otherEnv)
+	d := Diff(old, slowed, DiffOptions{BudgetPct: 2})
+	if !d.CrossEnvironment {
+		t.Fatal("environment mismatch not detected")
+	}
+	if d.Failed() {
+		t.Fatal("cross-environment diff fired the gate")
+	}
+	var buf bytes.Buffer
+	d.WriteText(&buf)
+	if !strings.Contains(buf.String(), "environments differ") {
+		t.Fatalf("cross-environment note missing from output:\n%s", buf.String())
+	}
+}
+
+// Too few samples on either side: no significance machinery, no gating —
+// and an explicit note, not silence.
+func TestDiffInsufficientSamples(t *testing.T) {
+	old := syntheticReport(t, "BenchmarkFig7EDP", 1.0e9, 0.01, 2, 1, testEnv)
+	slowed := syntheticReport(t, "BenchmarkFig7EDP", 2.0e9, 0.01, 2, 2, testEnv)
+	d := Diff(old, slowed, DiffOptions{BudgetPct: 2})
+	if d.Failed() {
+		t.Fatal("2-sample diff gated")
+	}
+	if d.Rows[0].Note == "" {
+		t.Fatal("insufficient-sample row carries no note")
+	}
+}
+
+func TestDiffIgnoresUnmatchedBenchmarks(t *testing.T) {
+	old := syntheticReport(t, "BenchmarkOnlyOld", 1.0e9, 0.01, 10, 1, testEnv)
+	new_ := syntheticReport(t, "BenchmarkOnlyNew", 1.0e9, 0.01, 10, 2, testEnv)
+	d := Diff(old, new_, DiffOptions{})
+	if len(d.Rows) != 0 || d.Failed() {
+		t.Fatalf("unmatched benchmarks produced rows: %+v", d.Rows)
+	}
+}

@@ -1,0 +1,82 @@
+package benchstat
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyP returns the two-sided p-value of the Mann–Whitney U test
+// for samples a and b: the probability, under the null hypothesis that
+// both come from the same distribution, of a rank separation at least
+// this extreme. It uses the normal approximation with tie correction and
+// a 0.5 continuity correction; at benchmark sample sizes (≥5 per side)
+// that is accurate enough for gating, and it is distribution-free — the
+// right property for timing data, which is skewed and multi-modal.
+//
+// Degenerate inputs (an empty side, or all samples tied) return 1: no
+// evidence of a difference.
+func MannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks, accumulating the tie correction Σ(t³−t).
+	n := n1 + n2
+	var rankSumA, tieCorr float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := (float64(i+1) + float64(j)) / 2 // midrank of the tied block
+		for k := i; k < j; k++ {
+			if all[k].fromA {
+				rankSumA += rank
+			}
+		}
+		tieCorr += t*t*t - t
+		i = j
+	}
+
+	u := rankSumA - n1*(n1+1)/2 // U statistic for a
+	mu := n1 * n2 / 2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieCorr/(n*(n-1)))
+	if sigma2 <= 0 {
+		return 1 // every sample tied
+	}
+	z := u - mu
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	p := 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// normalSF is the standard normal survival function 1 − Φ(x).
+func normalSF(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}

@@ -1,0 +1,170 @@
+// Package benchstat turns raw benchmark output into statistically sound
+// evidence. It replaces the awk pipeline that used to back bench.sh with:
+//
+//   - a strict parser for `go test -bench` output that rejects malformed
+//     lines and short repetition counts instead of coercing them to 0,
+//   - warmup/steady-state segmentation of in-process iteration series via
+//     changepoint detection (after "Virtual Machine Warmup Blows Hot and
+//     Cold": benchmarks do not start in steady state, and averaging the
+//     warmup into the estimate biases every comparison),
+//   - bootstrap percentile confidence intervals on the steady-state
+//     segment instead of bare point estimates, and
+//   - a two-sample significance test (Mann–Whitney U, backed by a
+//     bootstrap CI on the effect) that replaces the old binary
+//     below_noise flag on every comparison.
+//
+// cmd/benchgate is the CLI over this package; bench.sh and the CI
+// regression gate both drive it.
+package benchstat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// BenchSamples holds every repetition `go test -bench` reported for one
+// benchmark (the -GOMAXPROCS suffix is stripped from the name).
+type BenchSamples struct {
+	Name        string
+	NsPerOp     []float64
+	BytesPerOp  []int64 // empty unless -benchmem
+	AllocsPerOp []int64
+	Iterations  []int64 // b.N of each repetition
+}
+
+// Parsed is the result of reading one `go test -bench` run.
+type Parsed struct {
+	Order      []string // benchmark names in first-seen order
+	Benchmarks map[string]*BenchSamples
+	GOOS       string // from the "goos:" header line, if present
+	GOARCH     string
+	CPU        string // from the "cpu:" header line, if present
+	Procs      int    // GOMAXPROCS from the -N name suffix, 0 if absent
+}
+
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// Parse reads `go test -bench` output. Lines whose first field starts
+// with "Benchmark" must conform exactly to the benchmark result grammar
+// (name, iteration count, "<float> ns/op", optional "<int> B/op" and
+// "<int> allocs/op"); anything else on such a line — a truncated write
+// from an interleaved process, a non-numeric field, a NaN — is an error,
+// never a silent zero. Non-benchmark lines (headers, PASS, ok, test logs)
+// are ignored, except the goos/goarch/cpu headers, which are captured as
+// environment evidence.
+func Parse(r io.Reader) (*Parsed, error) {
+	p := &Parsed{Benchmarks: map[string]*BenchSamples{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			p.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			p.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			p.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Second rune after "Benchmark" must be uppercase or a digit for a
+		// result line ("Benchmarking..." prose would not be); but stay
+		// strict: any Benchmark-prefixed first field is treated as a
+		// result line and must parse fully.
+		if err := p.parseResultLine(fields); err != nil {
+			return nil, fmt.Errorf("benchstat: line %d: %w: %q", lineno, err, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchstat: reading bench output: %w", err)
+	}
+	if len(p.Order) == 0 {
+		return nil, fmt.Errorf("benchstat: no benchmark results found")
+	}
+	return p, nil
+}
+
+func (p *Parsed) parseResultLine(fields []string) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("truncated benchmark line (%d fields)", len(fields))
+	}
+	name := fields[0]
+	if m := procSuffix.FindStringSubmatch(name); m != nil {
+		name = strings.TrimSuffix(name, m[0])
+		procs, _ := strconv.Atoi(m[1])
+		if p.Procs == 0 {
+			p.Procs = procs
+		} else if p.Procs != procs {
+			return fmt.Errorf("GOMAXPROCS changed mid-run (%d then %d)", p.Procs, procs)
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	if fields[3] != "ns/op" {
+		return fmt.Errorf("expected ns/op unit, got %q", fields[3])
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return fmt.Errorf("non-numeric ns/op %q", fields[2])
+	}
+	if math.IsNaN(ns) || math.IsInf(ns, 0) || ns < 0 {
+		return fmt.Errorf("invalid ns/op %v", ns)
+	}
+	b := p.Benchmarks[name]
+	if b == nil {
+		b = &BenchSamples{Name: name}
+		p.Benchmarks[name] = b
+		p.Order = append(p.Order, name)
+	}
+	b.NsPerOp = append(b.NsPerOp, ns)
+	b.Iterations = append(b.Iterations, iters)
+
+	// Optional -benchmem pairs, in fixed order: B/op then allocs/op.
+	rest := fields[4:]
+	for len(rest) >= 2 {
+		v, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("non-numeric %s value %q", rest[1], rest[0])
+		}
+		switch rest[1] {
+		case "B/op":
+			b.BytesPerOp = append(b.BytesPerOp, v)
+		case "allocs/op":
+			b.AllocsPerOp = append(b.AllocsPerOp, v)
+		default:
+			return fmt.Errorf("unknown unit %q", rest[1])
+		}
+		rest = rest[2:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("dangling field %q", rest[0])
+	}
+	return nil
+}
+
+// ValidateReps errors unless every benchmark reported exactly count
+// repetitions — the old awk pipeline happily computed a "median" over
+// whatever subset of lines survived output interleaving.
+func (p *Parsed) ValidateReps(count int) error {
+	for _, name := range p.Order {
+		if got := len(p.Benchmarks[name].NsPerOp); got != count {
+			return fmt.Errorf("benchstat: %s has %d repetitions, want %d", name, got, count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package benchstat
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: jvmpower
+cpu: Intel(R) Xeon(R) CPU @ 2.20GHz
+BenchmarkFig7EDP-8   	       1	1700000123 ns/op	7822477360 B/op	22223631 allocs/op
+BenchmarkFig7EDP-8   	       1	1710000456 ns/op	7822477360 B/op	22223631 allocs/op
+BenchmarkFig7EDPMemo-8   	       1	1600000789 ns/op	6000000000 B/op	20000000 allocs/op
+BenchmarkFig7EDPMemo-8   	       1	1590000012 ns/op	6000000000 B/op	20000000 allocs/op
+PASS
+ok  	jvmpower	13.2s
+`
+
+func TestParseWellFormed(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Order) != 2 {
+		t.Fatalf("order = %v", p.Order)
+	}
+	if p.Order[0] != "BenchmarkFig7EDP" || p.Order[1] != "BenchmarkFig7EDPMemo" {
+		t.Fatalf("order = %v", p.Order)
+	}
+	b := p.Benchmarks["BenchmarkFig7EDP"]
+	if len(b.NsPerOp) != 2 || b.NsPerOp[0] != 1700000123 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if len(b.BytesPerOp) != 2 || b.BytesPerOp[0] != 7822477360 {
+		t.Fatalf("B/op = %v", b.BytesPerOp)
+	}
+	if len(b.AllocsPerOp) != 2 || b.AllocsPerOp[1] != 22223631 {
+		t.Fatalf("allocs/op = %v", b.AllocsPerOp)
+	}
+	if p.GOOS != "linux" || p.GOARCH != "amd64" {
+		t.Fatalf("goos/goarch = %q/%q", p.GOOS, p.GOARCH)
+	}
+	if p.CPU != "Intel(R) Xeon(R) CPU @ 2.20GHz" {
+		t.Fatalf("cpu = %q", p.CPU)
+	}
+	if p.Procs != 8 {
+		t.Fatalf("procs = %d", p.Procs)
+	}
+	if err := p.ValidateReps(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	p, err := Parse(strings.NewReader("BenchmarkX-4   100   12345.5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Benchmarks["BenchmarkX"]
+	if b.NsPerOp[0] != 12345.5 || len(b.BytesPerOp) != 0 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+// The awk pipeline this parser replaces coerced any malformed field to 0
+// via `$3 + 0`; a zero then won the min and skewed the median. Every
+// malformation must now be an explicit error.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"non-numeric ns/op", "BenchmarkX-4   100   garbage ns/op"},
+		{"NaN ns/op", "BenchmarkX-4   100   NaN ns/op"},
+		{"negative ns/op", "BenchmarkX-4   100   -5 ns/op"},
+		{"truncated line", "BenchmarkX-4   100"},
+		{"interleaved torn write", "BenchmarkX-4   100   123BenchmarkY-4 7 88 ns/op"},
+		{"wrong unit", "BenchmarkX-4   100   123 us/op"},
+		{"bad iteration count", "BenchmarkX-4   lots   123 ns/op"},
+		{"non-numeric B/op", "BenchmarkX-4   100   123 ns/op   abc B/op"},
+		{"unknown trailing unit", "BenchmarkX-4   100   123 ns/op   7 frobs/op"},
+		{"dangling field", "BenchmarkX-4   100   123 ns/op   7"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.line + "\n")); err == nil {
+			t.Errorf("%s: parsed silently: %q", c.name, c.line)
+		}
+	}
+}
+
+func TestParseRejectsEmptyAndRepMismatch(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("no benchmarks should be an error")
+	}
+	p, err := Parse(strings.NewReader(
+		"BenchmarkA-4 1 100 ns/op\nBenchmarkA-4 1 101 ns/op\nBenchmarkB-4 1 200 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateReps(2); err == nil {
+		t.Fatal("rep-count mismatch must error")
+	}
+}
+
+func TestParseRejectsProcsChange(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkA-4 1 100 ns/op\nBenchmarkA-8 1 100 ns/op\n"))
+	if err == nil {
+		t.Fatal("GOMAXPROCS change mid-run must error")
+	}
+}

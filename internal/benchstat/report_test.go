@@ -1,0 +1,152 @@
+package benchstat
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildWithIters(t *testing.T) {
+	p, err := Parse(strings.NewReader("BenchmarkFig7EDP-8 12 1100000000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two slow warmup iterations then a tight steady state around 1e9.
+	series := map[string][]float64{
+		"BenchmarkFig7EDP": {2.0e9, 1.6e9, 1.00e9, 1.01e9, 0.99e9, 1.00e9, 1.005e9, 0.995e9, 1.00e9, 1.002e9, 0.998e9, 1.001e9},
+	}
+	benches, err := Build(p, series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := benches["BenchmarkFig7EDP"]
+	if b.Warmup != 2 {
+		t.Fatalf("warmup = %d, want 2", b.Warmup)
+	}
+	if len(b.Steady) != 10 {
+		t.Fatalf("steady = %d samples", len(b.Steady))
+	}
+	if b.SteadyCI == nil {
+		t.Fatal("no steady-state CI")
+	}
+	if !(b.SteadyCI.Lo <= b.MedianNs && b.MedianNs <= b.SteadyCI.Hi) {
+		t.Fatalf("CI [%v, %v] excludes median %v", b.SteadyCI.Lo, b.SteadyCI.Hi, b.MedianNs)
+	}
+	// The summary must come from the steady segment, not the warmup: the
+	// warmup samples would drag the median toward 2e9.
+	if b.MedianNs > 1.1e9 {
+		t.Fatalf("median %v includes warmup", b.MedianNs)
+	}
+	if b.MaxNs >= 1.6e9 {
+		t.Fatalf("max %v includes warmup", b.MaxNs)
+	}
+}
+
+func TestBuildWithoutIters(t *testing.T) {
+	p, err := Parse(strings.NewReader(
+		"BenchmarkA-8 1 100 ns/op 50 B/op 3 allocs/op\nBenchmarkA-8 1 110 ns/op 50 B/op 3 allocs/op\nBenchmarkA-8 1 90 ns/op 50 B/op 3 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches, err := Build(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := benches["BenchmarkA"]
+	if b.MedianNs != 100 || b.MinNs != 90 || b.MaxNs != 110 {
+		t.Fatalf("summary = %+v", b)
+	}
+	if b.BytesPerOp != 50 || b.AllocsPerOp != 3 {
+		t.Fatalf("benchmem = %+v", b)
+	}
+	if b.SteadyCI != nil || b.Warmup != 0 {
+		t.Fatalf("no-iters build grew iteration fields: %+v", b)
+	}
+}
+
+func TestBuildRejectsOrphanSeries(t *testing.T) {
+	p, err := Parse(strings.NewReader("BenchmarkA-8 1 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(p, map[string][]float64{"BenchmarkGhost": {1, 2, 3}}, 1); err == nil {
+		t.Fatal("orphan iteration series must error")
+	}
+}
+
+func TestReportRoundtrip(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches, err := Build(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Report{
+		Description: "roundtrip test",
+		Command:     "go test -bench ...",
+		Environment: CaptureEnvironment(p, "abc1234"),
+		Benchmarks:  benches,
+		Comparisons: []Comparison{
+			Compare("memo_vs_bare", benches["BenchmarkFig7EDPMemo"], benches["BenchmarkFig7EDP"], 0.05, 1),
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Environment.GitSHA != "abc1234" || got.Environment.GOOS != "linux" {
+		t.Fatalf("environment lost: %+v", got.Environment)
+	}
+	if got.Benchmarks["BenchmarkFig7EDP"].Name != "BenchmarkFig7EDP" {
+		t.Fatal("ReadReport did not restore names")
+	}
+	if len(got.Comparisons) != 1 || got.Comparisons[0].Name != "memo_vs_bare" {
+		t.Fatalf("comparisons lost: %+v", got.Comparisons)
+	}
+	// A diff of a report against itself must never gate.
+	d := Diff(got, got, DiffOptions{})
+	if d.Failed() {
+		t.Fatal("self-diff fired the gate")
+	}
+}
+
+func TestCompareInsufficientSamples(t *testing.T) {
+	a := &Benchmark{Name: "A", NsPerOp: []float64{100, 101}}
+	b := &Benchmark{Name: "B", NsPerOp: []float64{200, 201}}
+	c := Compare("ab", a, b, 0.05, 1)
+	if c.Significant {
+		t.Fatal("2-sample comparison claimed significance")
+	}
+	if c.Note == "" {
+		t.Fatal("insufficient-sample comparison carries no note")
+	}
+}
+
+func TestCompareSignificant(t *testing.T) {
+	a := &Benchmark{Name: "A", NsPerOp: []float64{130, 131, 129, 132, 130, 128}}
+	b := &Benchmark{Name: "B", NsPerOp: []float64{100, 101, 99, 100, 102, 98}}
+	c := Compare("ab", a, b, 0.05, 1)
+	if !c.Significant {
+		t.Fatalf("30%% separation not significant: %+v", c)
+	}
+	if c.EffectPct < 25 || c.EffectPct > 35 {
+		t.Fatalf("effect = %v, want ~30", c.EffectPct)
+	}
+	// Environment capture from parsed output falls back to the process.
+	env := CaptureEnvironment(nil, "")
+	if env.GOOS == "" || env.GoVersion == "" {
+		t.Fatalf("environment incomplete: %+v", env)
+	}
+}

@@ -1,0 +1,175 @@
+package benchstat
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseIters(t *testing.T) {
+	in := `{"benchmark":"BenchmarkFig7EDP","iter":0,"ns":1700000000}
+{"benchmark":"BenchmarkFig7EDP","iter":1,"ns":1650000000}
+{"benchmark":"BenchmarkFig7EDPMemo","iter":0,"ns":1600000000}
+`
+	series, err := ParseIters(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series["BenchmarkFig7EDP"]) != 2 || len(series["BenchmarkFig7EDPMemo"]) != 1 {
+		t.Fatalf("series = %v", series)
+	}
+	if series["BenchmarkFig7EDP"][1] != 1.65e9 {
+		t.Fatalf("order not preserved: %v", series["BenchmarkFig7EDP"])
+	}
+}
+
+func TestParseItersRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		`{"benchmark":"X","iter":0,"ns":`,        // torn JSON
+		`{"iter":0,"ns":100}`,                    // missing name
+		`{"benchmark":"X","iter":0,"ns":0}`,      // non-positive
+		`{"benchmark":"X","iter":0,"ns":-5}`,     // negative
+		`{"benchmark":"X","iter":0,"ns":"fast"}`, // wrong type
+	} {
+		if _, err := ParseIters(strings.NewReader(in + "\n")); err == nil {
+			t.Errorf("accepted garbage: %s", in)
+		}
+	}
+}
+
+func TestWarmupSplitDetectsWarmup(t *testing.T) {
+	// Three slow warmup iterations, then a tight steady state.
+	xs := []float64{3000, 2500, 2200, 1000, 1010, 990, 1005, 995, 1000, 1002, 998, 1001}
+	w := WarmupSplit(xs)
+	if w != 3 {
+		t.Fatalf("warmup = %d, want 3 (series %v)", w, xs)
+	}
+}
+
+func TestWarmupSplitMultiPhase(t *testing.T) {
+	// A big first phase and a smaller shoulder: iterative peeling should
+	// remove both.
+	xs := []float64{5000, 5100, 1500, 1480, 1000, 1010, 990, 1005, 995, 1000, 1002, 998, 1001, 999}
+	w := WarmupSplit(xs)
+	if w != 4 {
+		t.Fatalf("warmup = %d, want 4", w)
+	}
+}
+
+func TestWarmupSplitNoChangeOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		xs := make([]float64, 12)
+		for i := range xs {
+			xs[i] = 1000 + rng.NormFloat64()*10
+		}
+		if w := WarmupSplit(xs); w > len(xs)/2 {
+			t.Fatalf("trial %d: warmup %d exceeds half the series", trial, w)
+		}
+	}
+	// Constant series: no information, no split.
+	if w := WarmupSplit([]float64{5, 5, 5, 5, 5, 5, 5, 5}); w != 0 {
+		t.Fatalf("constant series warmup = %d", w)
+	}
+}
+
+func TestWarmupSplitShortSeries(t *testing.T) {
+	if w := WarmupSplit([]float64{9000, 100, 101, 99, 100}); w != 0 {
+		t.Fatalf("short series must not be segmented, got warmup %d", w)
+	}
+	if w := WarmupSplit(nil); w != 0 {
+		t.Fatalf("empty series warmup = %d", w)
+	}
+}
+
+func TestWarmupSplitCapHalf(t *testing.T) {
+	// A drift that looks like endless warmup must still leave half the
+	// series as steady state.
+	xs := make([]float64, 16)
+	for i := range xs {
+		xs[i] = float64(10000 - i*500)
+	}
+	if w := WarmupSplit(xs); w > len(xs)/2 {
+		t.Fatalf("warmup %d exceeds cap %d", w, len(xs)/2)
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	xs := []float64{95, 98, 100, 101, 102, 99, 100, 103, 97, 100}
+	ci := BootstrapMedianCI(xs, 0.95, 1000, 1)
+	if !(ci.Lo <= 100 && 100 <= ci.Hi) {
+		t.Fatalf("CI [%v, %v] excludes the sample median", ci.Lo, ci.Hi)
+	}
+	if ci.Lo < 95 || ci.Hi > 103 {
+		t.Fatalf("CI [%v, %v] outside the sample range", ci.Lo, ci.Hi)
+	}
+	// Determinism: same samples + seed → same interval, for reproducible
+	// evidence files.
+	ci2 := BootstrapMedianCI(xs, 0.95, 1000, 1)
+	if ci != ci2 {
+		t.Fatalf("bootstrap not deterministic: %+v vs %+v", ci, ci2)
+	}
+}
+
+func TestBootstrapEffectCI(t *testing.T) {
+	a := []float64{130, 131, 129, 132, 130, 128, 131, 130}
+	b := []float64{100, 101, 99, 100, 102, 98, 100, 101}
+	ci := BootstrapEffectCI(a, b, 0.95, 1000, 1)
+	if ci.Lo <= 0 {
+		t.Fatalf("a is ~30%% slower than b; effect CI [%v, %v] should exclude 0", ci.Lo, ci.Hi)
+	}
+	if ci.Lo > 30 || ci.Hi < 30 {
+		t.Fatalf("effect CI [%v, %v] should bracket +30%%", ci.Lo, ci.Hi)
+	}
+}
+
+func TestMannWhitneySeparated(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{10, 11, 12, 13, 14, 15}
+	if p := MannWhitneyP(a, b); p > 0.01 {
+		t.Fatalf("fully separated samples: p = %v", p)
+	}
+	if p1, p2 := MannWhitneyP(a, b), MannWhitneyP(b, a); math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("p not symmetric: %v vs %v", p1, p2)
+	}
+}
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	a := []float64{5, 5, 5, 5, 5}
+	if p := MannWhitneyP(a, a); p != 1 {
+		t.Fatalf("all-tied samples: p = %v, want 1", p)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	if p := MannWhitneyP(b, b); p < 0.9 {
+		t.Fatalf("identical samples: p = %v", p)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if p := MannWhitneyP(nil, []float64{1, 2}); p != 1 {
+		t.Fatalf("empty side: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyOverlapping(t *testing.T) {
+	// Heavily overlapping noise should not be significant.
+	rng := rand.New(rand.NewSource(7))
+	reject := 0
+	for trial := 0; trial < 50; trial++ {
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for i := range a {
+			a[i] = 100 + rng.NormFloat64()
+			b[i] = 100 + rng.NormFloat64()
+		}
+		if MannWhitneyP(a, b) < 0.05 {
+			reject++
+		}
+	}
+	// The false-positive rate at alpha 0.05 should be around 5%, certainly
+	// not 20%+.
+	if reject > 8 {
+		t.Fatalf("null rejected %d/50 times at alpha 0.05", reject)
+	}
+}

@@ -35,11 +35,16 @@ func (r *Running) Add(x float64) {
 	r.m2 += d * (x - r.mean)
 }
 
-// AddN incorporates the same sample n times.
+// AddN incorporates the same sample n times in O(1): it merges the
+// degenerate accumulator {n, mean: x, m2: 0} rather than looping Add. A
+// repeated sample contributes no spread of its own, so the merge is exact
+// in real arithmetic; starting from an empty accumulator it is also
+// bit-identical to n successive Add calls. n <= 0 is a no-op.
 func (r *Running) AddN(x float64, n int64) {
-	for i := int64(0); i < n; i++ {
-		r.Add(x)
+	if n <= 0 {
+		return
 	}
+	r.Merge(Running{n: n, mean: x, min: x, max: x})
 }
 
 // Count reports the number of samples seen.
@@ -69,7 +74,13 @@ func (r *Running) Max() float64 {
 	return r.max
 }
 
-// Variance reports the population variance of the samples.
+// Variance reports the population variance of the samples (÷n). This is
+// the right form when the accumulator has seen the whole population — the
+// figure pipelines (fig6/fig8/fig9/fig11, analysis.DwellRecorder,
+// cmd/validate) aggregate over every point in a figure cell, so their
+// spread is descriptive, not inferential. For inference from a sample to
+// a larger population (confidence intervals, significance tests) use
+// SampleVariance.
 func (r *Running) Variance() float64 {
 	if r.n < 2 {
 		return 0
@@ -79,6 +90,20 @@ func (r *Running) Variance() float64 {
 
 // StdDev reports the population standard deviation.
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// SampleVariance reports the unbiased sample variance (÷n−1, Bessel's
+// correction) — the estimator the benchmark-statistics layer uses when
+// the observed repetitions stand in for the distribution of all possible
+// runs.
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// SampleStdDev reports the sample standard deviation (√SampleVariance).
+func (r *Running) SampleStdDev() float64 { return math.Sqrt(r.SampleVariance()) }
 
 // Merge folds another accumulator's samples into r.
 func (r *Running) Merge(o Running) {
@@ -131,14 +156,31 @@ func (e *EWMA) Add(x float64) {
 // Value reports the current average, or 0 if no samples.
 func (e *EWMA) Value() float64 { return e.value }
 
+// sortedFinite returns a sorted copy of xs with NaNs removed.
+// sort.Float64s leaves NaNs in unspecified positions, so a single NaN
+// sample would otherwise silently corrupt every order statistic computed
+// here — and through MAD, every quorum decision downstream. NaNs carry no
+// ordering information; dropping them keeps the statistics of the samples
+// that do. Infinities are kept: they order correctly.
+func sortedFinite(xs []float64) []float64 {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	return s
+}
+
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation. It copies and sorts the input. An empty input yields 0.
+// interpolation. It copies and sorts the input; NaN samples are dropped.
+// An empty (or all-NaN) input yields 0.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	s := sortedFinite(xs)
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	if p <= 0 {
 		return s[0]
 	}
@@ -156,13 +198,14 @@ func Percentile(xs []float64, p float64) float64 {
 }
 
 // Median returns the middle value of xs (mean of the two middle values for
-// even lengths), or 0 for an empty slice. It copies and sorts the input.
+// even lengths), or 0 for an empty slice. It copies and sorts the input;
+// NaN samples are dropped so one poisoned sample cannot corrupt the
+// median of the rest.
 func Median(xs []float64) float64 {
-	if len(xs) == 0 {
+	s := sortedFinite(xs)
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	m := len(s) / 2
 	if len(s)%2 == 1 {
 		return s[m]
@@ -172,14 +215,16 @@ func Median(xs []float64) float64 {
 
 // MAD returns the median absolute deviation of xs about its median — the
 // robust scale estimate the quorum dispatcher uses for outlier rejection.
-// Empty input yields 0.
+// NaN samples are dropped (a NaN deviation would otherwise re-poison the
+// inner median). Empty or all-NaN input yields 0.
 func MAD(xs []float64) float64 {
-	if len(xs) == 0 {
+	s := sortedFinite(xs)
+	if len(s) == 0 {
 		return 0
 	}
-	med := Median(xs)
-	dev := make([]float64, len(xs))
-	for i, x := range xs {
+	med := Median(s)
+	dev := make([]float64, len(s))
+	for i, x := range s {
 		dev[i] = math.Abs(x - med)
 	}
 	return Median(dev)
@@ -189,9 +234,11 @@ func MAD(xs []float64) float64 {
 // median is at most k MADs (k≈3.5 is the usual conservative cut). When the
 // MAD is zero — half or more of the samples identical — only exact-median
 // matches survive unless all deviations are zero, in which case everything
-// survives. The returned indices are in input order and never empty for
-// non-empty input: if rejection would discard every sample, the sample
-// closest to the median is kept.
+// survives. NaN samples are always rejected — a NaN is evidence of a
+// corrupted measurement, never a quorum member. The returned indices are
+// in input order and never empty for input with at least one non-NaN
+// sample: if rejection would discard every sample, the sample closest to
+// the median is kept. All-NaN input yields nil.
 func FilterOutliersMAD(xs []float64, k float64) []int {
 	if len(xs) == 0 {
 		return nil
@@ -221,13 +268,20 @@ func FilterOutliersMAD(xs []float64, k float64) []int {
 	return keep
 }
 
-// closestIndex returns the single index of xs nearest to target.
+// closestIndex returns the single index of xs nearest to target, skipping
+// NaN samples (which have no distance). Nil if every sample is NaN.
 func closestIndex(xs []float64, target float64) []int {
-	best := 0
+	best := -1
 	for i, x := range xs {
-		if math.Abs(x-target) < math.Abs(xs[best]-target) {
+		if math.IsNaN(x) {
+			continue
+		}
+		if best < 0 || math.Abs(x-target) < math.Abs(xs[best]-target) {
 			best = i
 		}
+	}
+	if best < 0 {
+		return nil
 	}
 	return []int{best}
 }

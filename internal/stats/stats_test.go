@@ -35,6 +35,83 @@ func TestRunningAddN(t *testing.T) {
 	if r.Count() != 4 || r.Mean() != 5 || r.Variance() != 0 {
 		t.Fatalf("AddN: count=%d mean=%v var=%v", r.Count(), r.Mean(), r.Variance())
 	}
+	if r.Min() != 5 || r.Max() != 5 {
+		t.Fatalf("AddN min/max = %v/%v, want 5/5", r.Min(), r.Max())
+	}
+	r.AddN(7, 0)
+	r.AddN(7, -3)
+	if r.Count() != 4 {
+		t.Fatalf("AddN with n<=0 must be a no-op, count=%d", r.Count())
+	}
+}
+
+// AddN(x, n) from an empty accumulator must be bit-for-bit identical to n
+// successive Add(x) calls: with identical samples every incremental delta
+// after the first Add is exactly zero, so the closed-form merge and the
+// loop agree exactly, not just within rounding.
+func TestRunningAddNBitIdenticalFromEmpty(t *testing.T) {
+	cases := []struct {
+		x float64
+		n int64
+	}{{5, 4}, {0.1, 7}, {-3.75, 1}, {1e17, 12}, {math.Pi, 1000}}
+	for _, c := range cases {
+		var byN, byLoop Running
+		byN.AddN(c.x, c.n)
+		for i := int64(0); i < c.n; i++ {
+			byLoop.Add(c.x)
+		}
+		if byN != byLoop {
+			t.Fatalf("AddN(%v,%d)=%+v, loop=%+v", c.x, c.n, byN, byLoop)
+		}
+	}
+}
+
+// After a mixed prior stream the closed form and the loop compute the same
+// real-arithmetic quantity but round differently, so equality is modulo a
+// tight relative tolerance.
+func TestRunningAddNMatchesLoopAfterStream(t *testing.T) {
+	var byN, byLoop Running
+	for _, x := range []float64{1, 5, 2, 8} {
+		byN.Add(x)
+		byLoop.Add(x)
+	}
+	byN.AddN(3.5, 6)
+	for i := 0; i < 6; i++ {
+		byLoop.Add(3.5)
+	}
+	if byN.Count() != byLoop.Count() || byN.Min() != byLoop.Min() || byN.Max() != byLoop.Max() {
+		t.Fatalf("count/min/max diverged: %+v vs %+v", byN, byLoop)
+	}
+	if math.Abs(byN.Mean()-byLoop.Mean()) > 1e-12*math.Abs(byLoop.Mean()) {
+		t.Fatalf("mean %v vs loop %v", byN.Mean(), byLoop.Mean())
+	}
+	if math.Abs(byN.Variance()-byLoop.Variance()) > 1e-12*byLoop.Variance() {
+		t.Fatalf("variance %v vs loop %v", byN.Variance(), byLoop.Variance())
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	var r Running
+	if r.SampleVariance() != 0 || r.SampleStdDev() != 0 {
+		t.Fatal("empty accumulator should report zero sample variance")
+	}
+	r.Add(2)
+	if r.SampleVariance() != 0 {
+		t.Fatal("single sample has no sample variance")
+	}
+	for _, x := range []float64{4, 6} {
+		r.Add(x)
+	}
+	// {2,4,6}: population variance 8/3, sample variance 8/2 = 4.
+	if math.Abs(r.Variance()-8.0/3) > 1e-12 {
+		t.Fatalf("population variance = %v, want 8/3", r.Variance())
+	}
+	if math.Abs(r.SampleVariance()-4) > 1e-12 {
+		t.Fatalf("sample variance = %v, want 4", r.SampleVariance())
+	}
+	if math.Abs(r.SampleStdDev()-2) > 1e-12 {
+		t.Fatalf("sample stddev = %v, want 2", r.SampleStdDev())
+	}
 }
 
 func TestRunningMergeMatchesSequential(t *testing.T) {
@@ -146,6 +223,141 @@ func TestPercentileProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: one NaN sample must not corrupt the order statistics of the
+// remaining samples. sort.Float64s leaves NaNs in unspecified positions,
+// so before the explicit filter a single poisoned rep could silently shift
+// the median and every MAD-based quorum decision built on it.
+func TestNaNPoisoning(t *testing.T) {
+	nan := math.NaN()
+	clean := []float64{1, 2, 3, 4, 5}
+	poisoned := []float64{1, 2, nan, 3, 4, 5}
+	if got, want := Median(poisoned), Median(clean); got != want {
+		t.Fatalf("Median with NaN = %v, want %v", got, want)
+	}
+	if got, want := Percentile(poisoned, 75), Percentile(clean, 75); got != want {
+		t.Fatalf("Percentile with NaN = %v, want %v", got, want)
+	}
+	if got, want := MAD(poisoned), MAD(clean); got != want {
+		t.Fatalf("MAD with NaN = %v, want %v", got, want)
+	}
+	// NaN-leading input exercises the unspecified sort placement directly.
+	if got := Median([]float64{nan, nan, 7}); got != 7 {
+		t.Fatalf("Median of {NaN,NaN,7} = %v, want 7", got)
+	}
+	if got := Median([]float64{nan, nan}); got != 0 {
+		t.Fatalf("Median of all-NaN = %v, want 0", got)
+	}
+	if got := MAD([]float64{nan}); got != 0 {
+		t.Fatalf("MAD of all-NaN = %v, want 0", got)
+	}
+	if got := Percentile([]float64{nan}, 50); got != 0 {
+		t.Fatalf("Percentile of all-NaN = %v, want 0", got)
+	}
+}
+
+func TestFilterOutliersMADRejectsNaN(t *testing.T) {
+	nan := math.NaN()
+	keep := FilterOutliersMAD([]float64{10, nan, 11, 12, 11, 400}, 3.5)
+	for _, i := range keep {
+		if i == 1 {
+			t.Fatal("NaN sample survived the quorum filter")
+		}
+		if i == 5 {
+			t.Fatal("outlier survived alongside NaN")
+		}
+	}
+	if len(keep) != 4 {
+		t.Fatalf("keep = %v, want the four clean samples", keep)
+	}
+	if got := FilterOutliersMAD([]float64{nan, nan}, 3.5); got != nil {
+		t.Fatalf("all-NaN input kept %v, want nil", got)
+	}
+	// NaN in slot 0 used to make closestIndex return the NaN itself.
+	keep = FilterOutliersMAD([]float64{nan, 5}, 3.5)
+	if len(keep) != 1 || keep[0] != 1 {
+		t.Fatalf("keep = %v, want [1]", keep)
+	}
+}
+
+func TestFilterOutliersMADZeroMADExactMedian(t *testing.T) {
+	// Half or more identical → MAD 0 → only exact-median matches survive.
+	keep := FilterOutliersMAD([]float64{5, 5, 5, 9}, 3.5)
+	if len(keep) != 3 {
+		t.Fatalf("keep = %v, want the three exact-median samples", keep)
+	}
+	for _, i := range keep {
+		if i == 3 {
+			t.Fatal("non-median sample survived the zero-MAD path")
+		}
+	}
+	// All-identical: everything survives.
+	if keep := FilterOutliersMAD([]float64{2, 2, 2}, 3.5); len(keep) != 3 {
+		t.Fatalf("identical samples: keep = %v, want all three", keep)
+	}
+}
+
+func TestFilterOutliersMADAllRejectedFallback(t *testing.T) {
+	// Interpolated median (2) matches no sample and an aggressive k shrinks
+	// the cut below every deviation: rejection would discard everything, so
+	// the single sample closest to the median is kept instead.
+	xs := []float64{1, 1, 3, 3}
+	keep := FilterOutliersMAD(xs, 0.4)
+	if len(keep) != 1 {
+		t.Fatalf("keep = %v, want exactly one fallback sample", keep)
+	}
+	if x := xs[keep[0]]; x != 1 && x != 3 {
+		t.Fatalf("fallback kept %v", x)
+	}
+}
+
+func TestFilterOutliersMADTies(t *testing.T) {
+	// Ties at the cut boundary: |x-med| == k*MAD is kept (<=, not <).
+	// {0,10,20}: med 10, MAD 10; k=1 keeps everything.
+	if keep := FilterOutliersMAD([]float64{0, 10, 20}, 1); len(keep) != 3 {
+		t.Fatalf("boundary ties rejected: keep = %v", keep)
+	}
+	// Duplicated outliers must all be rejected together.
+	keep := FilterOutliersMAD([]float64{10, 11, 12, 11, 10, 500, 500}, 3.5)
+	for _, i := range keep {
+		if i >= 5 {
+			t.Fatalf("tied outlier survived: keep = %v", keep)
+		}
+	}
+	if len(keep) != 5 {
+		t.Fatalf("keep = %v, want the five clean samples", keep)
+	}
+}
+
+// Merge must agree with a single-pass reference accumulator over random
+// split points, not just the one hand-picked split in
+// TestRunningMergeMatchesSequential.
+func TestRunningMergeAgainstSinglePassReference(t *testing.T) {
+	xs := []float64{3.25, -1.5, 0, 8.125, 2.75, 2.75, -9, 4.5, 1e6, -1e6, 0.003}
+	var whole Running
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for split := 0; split <= len(xs); split++ {
+		var a, b Running
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Fatalf("split %d: count/min/max diverged: %+v vs %+v", split, a, whole)
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-6 {
+			t.Fatalf("split %d: mean %v, want %v", split, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.SampleVariance()-whole.SampleVariance()) > 1e-9*whole.SampleVariance() {
+			t.Fatalf("split %d: sample variance %v, want %v", split, a.SampleVariance(), whole.SampleVariance())
+		}
 	}
 }
 
