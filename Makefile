@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci fuzz fuzz-smoke bench bench-overhead bench-faults bench-isolate bench-memo bench-steady bench-gate bench-smoke
+.PHONY: build test vet race check ci fuzz fuzz-smoke fleet-smoke bench bench-overhead bench-faults bench-isolate bench-memo bench-fleet bench-steady bench-gate bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,17 +16,22 @@ vet:
 
 # race exercises the concurrent machinery under the race detector: the
 # experiment dispatcher (RunAll workers, singleflight coalescing), the
-# metrics registry's atomic instruments, and the supervisor's worker pool
-# (watchdogs, kills, restarts) with its framed protocol.
+# metrics registry's atomic instruments, the supervisor's worker pool
+# (watchdogs, kills, restarts) with its framed protocol, and the fleet
+# coordinator (socket transport, work stealing, requeue, node breakers).
+# The experiments package runs the full determinism suite (isolated, memo,
+# fleet, resume) under the detector, which takes ~11 minutes on a single
+# core — past go test's default 10m per-package limit, hence the explicit
+# timeout.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/metrics/... ./internal/supervisor/... ./internal/pointproto/...
+	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/metrics/... ./internal/supervisor/... ./internal/pointproto/... ./internal/fleet/...
 
 # check is the tier-1 gate: everything must pass before a change lands.
 check: build vet test race
 
 # ci mirrors .github/workflows/ci.yml locally: the tier-1 gate plus a short
-# fuzz smoke over every native fuzz target.
-ci: build vet test race fuzz-smoke
+# fuzz smoke over every native fuzz target and the two-node fleet smoke.
+ci: build vet test race fuzz-smoke fleet-smoke
 
 # fuzz gives each native fuzz target a short budget. The targets guard the
 # untrusted-input parsers: the fault-plan grammar, the binary program codec,
@@ -36,6 +41,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalProgram -fuzztime 10s ./internal/classfile/
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/pointproto/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSpec -fuzztime 10s ./internal/pointproto/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalHello -fuzztime 10s ./internal/pointproto/
 
 # fuzz-smoke is the CI-sized version of fuzz: a few seconds per target,
 # enough to replay the corpus and catch regressions in the parsers.
@@ -44,6 +50,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalProgram -fuzztime 3s ./internal/classfile/
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 3s ./internal/pointproto/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSpec -fuzztime 3s ./internal/pointproto/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalHello -fuzztime 3s ./internal/pointproto/
+
+# fleet-smoke is the shell-level distributed smoke: the real binary runs a
+# quick Figure 6 campaign across two loopback `-serve-node` executors and
+# the output is diffed against the in-process run (byte-identical or fail).
+# The in-repo twin, TestFleetByteIdentical, adds steals and an injected
+# disconnect on top.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # bench regenerates BENCH_1.json from the headline figure benchmarks.
 bench:
@@ -71,6 +86,14 @@ bench-isolate:
 # baseline (the 2x acceptance floor was recorded on that machine).
 bench-memo:
 	./bench.sh BENCH_5.json memo
+
+# bench-fleet regenerates BENCH_7.json: the socket transport's coordination
+# overhead on the Fig. 7 hot path — bare vs every point dispatched to two
+# loopback executor nodes (framing, gob, scheduling, loopback TCP). The
+# fleet_vs_bare comparison is significance-tested; figures are
+# byte-identical either way, so the number is pure transport cost.
+bench-fleet:
+	./bench.sh BENCH_7.json fleet
 
 # bench-steady regenerates BENCH_6.json: one in-process series of the
 # Fig. 7 benchmark bare and memoized with per-iteration timings, segmented

@@ -20,6 +20,8 @@
 #   faults    Figure 7 bare vs zero-rate fault plan (BENCH_3.json).
 #   isolate   Figure 7 bare vs isolation-reachable-but-off (BENCH_4.json).
 #   memo      Figure 7 bare vs sweep-fork memoization (BENCH_5.json).
+#   fleet     Figure 7 bare vs two loopback fleet nodes (BENCH_7.json):
+#             the socket transport's coordination overhead.
 #
 # Iteration modes (one in-process series of $ITERS iterations, timed
 # per-iteration via the harness -iters flag, warmup-segmented):
@@ -59,6 +61,10 @@ memo)
     OUT=${1:-BENCH_5.json}
     PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPMemo$'
     ;;
+fleet)
+    OUT=${1:-BENCH_7.json}
+    PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPFleet$'
+    ;;
 steady)
     OUT=${1:-BENCH_6.json}
     PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPMemo$'
@@ -72,7 +78,7 @@ gate)
     ITERS_MODE=1
     ;;
 *)
-    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults|isolate|memo|steady|gate)" >&2
+    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults|isolate|memo|fleet|steady|gate)" >&2
     exit 2
     ;;
 esac

@@ -9,7 +9,9 @@
 package jvmpower_test
 
 import (
+	"context"
 	"io"
+	"net"
 	"testing"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"jvmpower/internal/cpu"
 	"jvmpower/internal/experiments"
 	"jvmpower/internal/faultinject"
+	"jvmpower/internal/fleet"
 	"jvmpower/internal/gc"
 	"jvmpower/internal/heap"
 	"jvmpower/internal/metrics"
@@ -169,6 +172,59 @@ func BenchmarkFig7EDPMemo(b *testing.B) {
 		}
 		if s := r.Memo.Stats(); s.Hits == 0 {
 			b.Fatalf("memo store never hit: %+v", s)
+		}
+		logIter(b, time.Since(t0))
+	}
+}
+
+// BenchmarkFig7EDPFleet regenerates Figure 7 through the socket transport:
+// every point dispatched to one of two loopback executor nodes and its
+// result gob carried back over TCP. The nodes persist across iterations;
+// the coordinator is fresh per iteration (its success memo would otherwise
+// turn later iterations into pure dedupe hits). The delta against
+// BenchmarkFig7EDP prices the coordination overhead — framing, gob,
+// scheduling, loopback TCP — on the hottest figure path; bench.sh's fleet
+// mode records both in BENCH_7.json. The iteration fails unless points
+// actually flowed through the fleet.
+func BenchmarkFig7EDPFleet(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var dones []chan struct{}
+	defer func() {
+		cancel()
+		for _, d := range dones {
+			<-d
+		}
+	}()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, ln.Addr().String())
+		done := make(chan struct{})
+		dones = append(dones, done)
+		go func() {
+			defer close(done)
+			_ = fleet.Serve(ctx, ln, fleet.ServeConfig{Handler: experiments.HandleSpec, Stderr: io.Discard})
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		r := experiments.NewRunner(io.Discard)
+		r.Quick = true
+		reg := metrics.NewRegistry()
+		r.Metrics = reg
+		coord := fleet.New(fleet.Config{Nodes: addrs, Metrics: reg, Stderr: io.Discard})
+		r.Fleet = coord
+		err := r.RunFigure("fig7")
+		coord.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if reg.Counter("fleet.points").Value() == 0 {
+			b.Fatal("no points flowed through the fleet")
 		}
 		logIter(b, time.Since(t0))
 	}

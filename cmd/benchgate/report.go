@@ -72,6 +72,10 @@ var modes = map[string]modeSpec{
 			{"pr4_BenchmarkFig7EDP_median_vs_bare", 4020391040, "BENCH_4.json median BenchmarkFig7EDP repetition", "BenchmarkFig7EDP", crossMachineNote},
 		},
 	},
+	"fleet": {
+		description: "Distributed-execution coordination overhead on the Fig. 7 hot path: bare (in-process) vs every point dispatched to two loopback executor nodes over the socket transport (framing, gob encode/decode, scheduling, loopback TCP; the benchmark fails unless points actually flowed through the fleet). The fleet_vs_bare comparison is Mann–Whitney-tested with a bootstrap CI on the effect. Figures are byte-identical either way — the cross-node determinism gate enforces it — so this number is pure transport cost, amortized across real campaigns by node parallelism that a single-machine loopback run deliberately does not exploit.",
+		comparisons: []comparisonSpec{{"fleet_vs_bare", "BenchmarkFig7EDPFleet", "BenchmarkFig7EDP"}},
+	},
 	"steady": {
 		description: "Steady-state benchmark evidence for the Fig. 7 hot path: each benchmark ran as one in-process series with per-iteration timings (-iters), segmented into warmup and steady state by changepoint detection; median/min/max/stddev and the bootstrap percentile CI summarize the steady segment only. The memo_vs_bare comparison is Mann–Whitney-tested on the steady samples with a bootstrap CI on the effect. A speedup or overhead number from this file is a claim only when its comparison is significant and the environments match.",
 		comparisons: []comparisonSpec{{"memo_vs_bare", "BenchmarkFig7EDPMemo", "BenchmarkFig7EDP"}},
@@ -83,7 +87,7 @@ var modes = map[string]modeSpec{
 
 func runReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
-	mode := fs.String("mode", "", "report mode: figures|overhead|faults|isolate|memo|steady|gate")
+	mode := fs.String("mode", "", "report mode: figures|overhead|faults|isolate|memo|fleet|steady|gate")
 	count := fs.Int("count", 0, "required repetitions per benchmark (0 = don't enforce)")
 	itersPath := fs.String("iters", "", "per-iteration JSONL file emitted by the harness -iters flag")
 	out := fs.String("out", "", "output file (default stdout)")

@@ -14,6 +14,9 @@
 //	experiments -all -metrics m.json -journal j.jsonl
 //	experiments -all -http localhost:6060   # live /metrics + /debug/pprof
 //	experiments -all -isolate 4             # points run in worker subprocesses
+//	experiments -serve-node :9310                     # run a fleet executor node
+//	experiments -all -nodes host1:9310,host2:9310     # distribute points across nodes
+//	experiments -merge-journals a.jsonl,b.jsonl -journal merged.jsonl
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 
 	"jvmpower/internal/experiments"
 	"jvmpower/internal/faultinject"
+	"jvmpower/internal/fleet"
 	"jvmpower/internal/metrics"
 	"jvmpower/internal/supervisor"
 	"jvmpower/internal/vm"
@@ -68,8 +72,12 @@ func run() int {
 		pointTO     = flag.Duration("point-timeout", 0, "wall-time budget per characterization attempt (0 = unbounded)")
 		resume      = flag.Bool("resume", false, "replay -journal to skip points a previous run completed (requires -journal and -cache)")
 		isolate     = flag.Int("isolate", 0, "run each point in one of N supervised worker subprocesses (0 = in-process)")
-		breakerK    = flag.Int("breaker", 0, "with -isolate: consecutive worker deaths that open a figure's circuit breaker (0 = default 3, negative = never)")
+		breakerK    = flag.Int("breaker", 0, "with -isolate or -nodes: consecutive executor deaths that open a circuit breaker (0 = default 3, negative = never)")
 		worker      = flag.Bool("worker", false, "internal: run as a point worker speaking the supervisor protocol on stdin/stdout")
+		nodes       = flag.String("nodes", "", "comma-separated fleet node addresses (host:port); points run remotely with work stealing")
+		serveNode   = flag.String("serve-node", "", "run as a fleet executor node listening on this address (host:port; port 0 picks one)")
+		capacity    = flag.Int("capacity", 0, "with -serve-node: concurrent-point budget advertised to the coordinator (0 = GOMAXPROCS)")
+		mergeList   = flag.String("merge-journals", "", "comma-separated shard journals to merge into -journal FILE, then exit")
 	)
 	flag.Parse()
 
@@ -87,6 +95,29 @@ func run() int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1
+	}
+
+	if *mergeList != "" {
+		// Journal-merge mode: fold shard journals from a split campaign into
+		// one canonical resume journal and exit. The output is order-independent
+		// (see experiments.MergeJournals), so any coordinator can produce it.
+		if *journalFile == "" {
+			return fail(errors.New("-merge-journals needs -journal FILE for the merged output"))
+		}
+		paths := strings.Split(*mergeList, ",")
+		f, err := os.Create(*journalFile)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := experiments.MergeJournals(f, paths...)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: merged %d journal(s): %d completed point(s)\n", len(paths), n)
+		return 0
 	}
 
 	if *cpuprofile != "" {
@@ -161,6 +192,39 @@ func run() int {
 	}()
 	r.Ctx = ctx
 
+	if *serveNode != "" {
+		// Executor-node mode: serve points to a remote coordinator until
+		// interrupted. The runner, caches, and journal above are unused —
+		// every setting that determines a point's bytes arrives in the spec.
+		if err := experiments.ServeNode(ctx, *serveNode, *capacity, os.Stderr); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *nodes != "" {
+		if *isolate > 0 {
+			return fail(errors.New("-nodes and -isolate are mutually exclusive (pick one executor transport)"))
+		}
+		coord := fleet.New(fleet.Config{
+			Nodes:   strings.Split(*nodes, ","),
+			Metrics: reg,
+			// The fleet's task budget is the same wall-clock point budget
+			// isolation enforces: all reps and retries share it.
+			TaskTimeout:      *pointTO,
+			BreakerThreshold: *breakerK,
+			Stderr:           os.Stderr,
+			OnNodeEvent:      r.ObserveNodeEvent,
+		})
+		defer coord.Close()
+		r.Fleet = coord
+		r.BreakerThreshold = *breakerK
+		fmt.Fprintf(os.Stderr, "experiments: fleet active: %d node(s)\n", len(strings.Split(*nodes, ",")))
+		if r.Memo != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -memo is inert under -nodes (the store is in-process; nodes cannot share it)")
+		}
+	}
+
 	if *isolate > 0 {
 		exe, err := os.Executable()
 		if err != nil {
@@ -188,8 +252,8 @@ func run() int {
 		if r.Memo != nil {
 			fmt.Fprintln(os.Stderr, "experiments: -memo is inert under -isolate (the store is in-process; workers cannot share it)")
 		}
-	} else if *breakerK != 0 {
-		return fail(errors.New("-breaker requires -isolate (breakers count worker deaths)"))
+	} else if *breakerK != 0 && *nodes == "" {
+		return fail(errors.New("-breaker requires -isolate or -nodes (breakers count executor deaths)"))
 	}
 
 	if *metricsFile != "" {

@@ -23,6 +23,7 @@ import (
 
 	"jvmpower/internal/core"
 	"jvmpower/internal/faultinject"
+	"jvmpower/internal/fleet"
 	"jvmpower/internal/metrics"
 	"jvmpower/internal/platform"
 	"jvmpower/internal/supervisor"
@@ -94,8 +95,17 @@ type Runner struct {
 	Supervisor *supervisor.Supervisor
 	// BreakerThreshold is the consecutive-worker-death count that trips a
 	// figure's circuit breaker: 0 means the default (3), negative disables
-	// tripping. Ignored without a Supervisor.
+	// tripping. Ignored without a Supervisor or Fleet.
 	BreakerThreshold int
+
+	// Fleet, when non-nil, routes every computed point to a remote
+	// executor node over the socket transport (see fleet.go) instead of
+	// computing in-process or on a local supervised worker. Points shard
+	// by figure and sweep group, idle nodes steal under skew, and node
+	// deaths feed the same per-figure circuit breakers isolation uses.
+	// Takes precedence over Supervisor; Memo is inert (the store is
+	// in-process and remote nodes cannot share it).
+	Fleet *fleet.Coordinator
 
 	mu     sync.Mutex
 	cache  map[pointKey]*flight
@@ -107,6 +117,12 @@ type Runner struct {
 
 	breakerMu sync.Mutex
 	breakers  map[string]*supervisor.Breaker
+
+	// activeFig names the figure currently rendering (set by RunFigure);
+	// the fleet path folds it into each point's shard key so a figure's
+	// points land on one node.
+	figMu     sync.Mutex
+	activeFig string
 }
 
 // flight is one singleflight cache entry: the first Run for a key owns the
@@ -543,6 +559,9 @@ func (r *Runner) RunFigure(name string) error {
 	if !ok {
 		return fmt.Errorf("experiments: unknown figure %q (have %v)", name, FigureNames())
 	}
+	r.figMu.Lock()
+	r.activeFig = name
+	r.figMu.Unlock()
 	start := time.Now()
 	err := fn(r)
 	r.Metrics.Gauge("experiments.figure." + name + ".seconds").Set(time.Since(start).Seconds())

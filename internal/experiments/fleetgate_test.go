@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jvmpower/internal/fleet"
+	"jvmpower/internal/metrics"
+	"jvmpower/internal/pointproto"
+)
+
+// The cross-node determinism gate: a figure rendered across a fleet of
+// loopback nodes — under shuffled completion order, mid-run steals, and an
+// injected disconnect — must be byte-identical to the single-process run at
+// the same seed. This is the acceptance test for the whole distributed
+// path: if any part of the coordinator (scheduling, stealing, requeue,
+// result decode) leaked nondeterminism into figure output, these bytes
+// would differ.
+
+// listenLoopback opens a loopback listener for a test fleet node.
+func listenLoopback(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// startFleetNode runs fleet.Serve on ln until test cleanup.
+func startFleetNode(t *testing.T, ln net.Listener, cfg fleet.ServeConfig) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = fleet.Serve(ctx, ln, cfg)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// dropOnceListener makes a node's FIRST accepted connection die after a
+// budget of TaskResult frames — the injected-disconnect half of the gate.
+// Reconnections are clean, so every requeued task completes on the retry.
+type dropOnceListener struct {
+	net.Listener
+	mu    sync.Mutex
+	taken bool
+	limit int
+}
+
+func (l *dropOnceListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	first := !l.taken
+	l.taken = true
+	l.mu.Unlock()
+	if first {
+		return &dropAfterConn{Conn: conn, limit: l.limit}, nil
+	}
+	return conn, nil
+}
+
+// dropAfterConn counts TaskResult frames by first byte — valid because
+// WriteFrame emits each frame in a single Write — and severs the connection
+// when the budget is spent. The severed write's task is still inflight
+// coordinator-side, so the disconnect always forces at least one requeue.
+type dropAfterConn struct {
+	net.Conn
+	mu      sync.Mutex
+	results int
+	limit   int
+}
+
+func (c *dropAfterConn) Write(b []byte) (int, error) {
+	if len(b) > 0 && b[0] == byte(pointproto.MsgTaskResult) {
+		c.mu.Lock()
+		c.results++
+		over := c.results > c.limit
+		c.mu.Unlock()
+		if over {
+			c.Conn.Close()
+			return 0, errors.New("injected disconnect")
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+// TestFleetByteIdentical renders Figures 6 and 7 across three loopback
+// nodes — one fast, one slow enough to force steals, one whose transport
+// drops mid-campaign — and requires the output byte-identical to the
+// in-process run, with the metrics proving each chaos ingredient actually
+// fired.
+func TestFleetByteIdentical(t *testing.T) {
+	var inproc strings.Builder
+	ref := quickRunner(&inproc)
+	for _, fig := range []string{"fig6", "fig7"} {
+		if err := ref.RunFigure(fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Node A: computes immediately.
+	lnA := listenLoopback(t)
+	startFleetNode(t, lnA, fleet.ServeConfig{Name: "A", Capacity: 2, Handler: HandleSpec, Stderr: io.Discard})
+	// Node B: slow with capacity 1, so its shard-affine queue backs up —
+	// the idle nodes must steal, and completion order shuffles.
+	lnB := listenLoopback(t)
+	startFleetNode(t, lnB, fleet.ServeConfig{
+		Name: "B", Capacity: 1,
+		Handler: func(spec pointproto.Spec) []byte {
+			time.Sleep(10 * time.Millisecond)
+			return HandleSpec(spec)
+		},
+		Stderr: io.Discard,
+	})
+	// Node C: healthy handler behind a transport that disconnects after
+	// two results; it reconnects clean and finishes what it restarts.
+	lnC := listenLoopback(t)
+	startFleetNode(t, &dropOnceListener{Listener: lnC, limit: 2},
+		fleet.ServeConfig{Name: "C", Capacity: 2, Handler: HandleSpec, Stderr: io.Discard})
+
+	var out strings.Builder
+	r := quickRunner(&out)
+	r.Metrics = metrics.NewRegistry()
+	coord := fleet.New(fleet.Config{
+		Nodes:   []string{lnA.Addr().String(), lnB.Addr().String(), lnC.Addr().String()},
+		Metrics: r.Metrics,
+		Stderr:  io.Discard,
+	})
+	t.Cleanup(coord.Close)
+	r.Fleet = coord
+	for _, fig := range []string{"fig6", "fig7"} {
+		if err := r.RunFigure(fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if out.String() != inproc.String() {
+		t.Fatal("fleet campaign output differs from the in-process run")
+	}
+	if n := len(r.Faulted()); n != 0 {
+		t.Fatalf("fleet campaign degraded %d points: %+v", n, r.Faulted())
+	}
+	if v := r.Metrics.Counter("experiments.fleet.points").Value(); v == 0 {
+		t.Fatal("no points computed through the fleet")
+	}
+	for _, name := range []string{"fleet.steals", "fleet.requeues", "fleet.crashes.disconnect"} {
+		if v := r.Metrics.Counter(name).Value(); v == 0 {
+			t.Fatalf("%s = 0: the gate's chaos did not fire", name)
+		}
+	}
+}
+
+// TestFleetResumeByteIdentical pins the fleet resume story: a fleet
+// campaign's journal, passed through MergeJournals, resumes both a fresh
+// fleet run and a single-process run byte-identically — and the resumed
+// fleet executes nothing remotely, because every point is already in the
+// shared cache.
+func TestFleetResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "points")
+	journalPath := filepath.Join(dir, "fleet.jsonl")
+
+	ln := listenLoopback(t)
+	startFleetNode(t, ln, fleet.ServeConfig{Name: "n0", Handler: HandleSpec, Stderr: io.Discard})
+
+	var out1 strings.Builder
+	r1 := quickRunner(&out1)
+	r1.CacheDir = cacheDir
+	r1.Metrics = metrics.NewRegistry()
+	j1, err := metrics.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Journal = j1
+	coord1 := fleet.New(fleet.Config{Nodes: []string{ln.Addr().String()}, Metrics: r1.Metrics, Stderr: io.Discard})
+	r1.Fleet = coord1
+	if err := r1.RunFigure("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	coord1.Close()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A merge of one shard must still resolve and canonicalize.
+	mergedPath := filepath.Join(dir, "merged.jsonl")
+	mf, err := os.Create(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := MergeJournals(mf, journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("merge resolved no completed points")
+	}
+
+	// Fleet resume: a fresh node counting executions — there must be none.
+	var executed atomic.Int64
+	ln2 := listenLoopback(t)
+	startFleetNode(t, ln2, fleet.ServeConfig{
+		Name: "n1",
+		Handler: func(spec pointproto.Spec) []byte {
+			executed.Add(1)
+			return HandleSpec(spec)
+		},
+		Stderr: io.Discard,
+	})
+	var out2 strings.Builder
+	r2 := quickRunner(&out2)
+	r2.CacheDir = cacheDir
+	r2.Metrics = metrics.NewRegistry()
+	if _, err := r2.LoadResume(mergedPath); err != nil {
+		t.Fatal(err)
+	}
+	coord2 := fleet.New(fleet.Config{Nodes: []string{ln2.Addr().String()}, Metrics: r2.Metrics, Stderr: io.Discard})
+	t.Cleanup(coord2.Close)
+	r2.Fleet = coord2
+	if err := r2.RunFigure("fig6"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-process resume of the same merged journal.
+	var out3 strings.Builder
+	r3 := quickRunner(&out3)
+	r3.CacheDir = cacheDir
+	r3.Metrics = metrics.NewRegistry()
+	if _, err := r3.LoadResume(mergedPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.RunFigure("fig6"); err != nil {
+		t.Fatal(err)
+	}
+
+	if out2.String() != out1.String() {
+		t.Fatal("fleet resume output differs from the original fleet campaign")
+	}
+	if out3.String() != out1.String() {
+		t.Fatal("single-process resume output differs from the fleet campaign")
+	}
+	if v := executed.Load(); v != 0 {
+		t.Fatalf("resumed fleet recomputed %d points remotely", v)
+	}
+	for _, r := range []*Runner{r2, r3} {
+		if skipped := r.Metrics.Counter("experiments.resume.skipped").Value(); skipped != int64(n) {
+			t.Fatalf("resume skipped %d points, merged journal resolved %d", skipped, n)
+		}
+	}
+}

@@ -42,7 +42,27 @@ func (r *Runner) computeIsolated(p Point, k pointKey) (*core.Result, int, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	spec := pointproto.Spec{
+	payload, err := r.Supervisor.Run(ctx, r.wireSpec(p))
+	if err != nil {
+		if ce, ok := supervisor.AsCrash(err); ok {
+			r.Metrics.Counter("experiments.isolated.crashes").Inc()
+			return nil, 0, fmt.Errorf("experiments: %s: %w", p, ce)
+		}
+		return nil, 0, err
+	}
+	res, attempts, err := decodePointPayload(p, payload)
+	if err != nil {
+		return nil, attempts, err
+	}
+	r.storePoint(k, res)
+	r.Metrics.Counter("experiments.isolated.points").Inc()
+	return res, attempts, nil
+}
+
+// wireSpec serializes a point plus every runner setting that determines
+// its bytes — the payload both the pipe and socket transports carry.
+func (r *Runner) wireSpec(p Point) pointproto.Spec {
+	return pointproto.Spec{
 		Bench:     p.Bench.Name,
 		Flavor:    p.Flavor.String(),
 		Collector: p.Collector,
@@ -56,41 +76,35 @@ func (r *Runner) computeIsolated(p Point, k pointKey) (*core.Result, int, error)
 		Reps:      r.Reps,
 		Retries:   r.Retries,
 	}
-	payload, err := r.Supervisor.Run(ctx, spec)
-	if err != nil {
-		if ce, ok := supervisor.AsCrash(err); ok {
-			r.Metrics.Counter("experiments.isolated.crashes").Inc()
-			return nil, 0, fmt.Errorf("experiments: %s: %w", p, ce)
-		}
-		return nil, 0, err
-	}
+}
+
+// decodePointPayload decodes an executor's result payload. An undecodable
+// payload is the protocol violation it is — a *supervisor.CrashError, so
+// it counts as a worker death; a decoded failure is a plain error carrying
+// the same string the in-process path would have produced.
+func decodePointPayload(p Point, payload []byte) (*core.Result, int, error) {
 	var wr workerResult
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wr); err != nil {
-		// The frame parsed but the payload did not: treat it as the
-		// protocol violation it is, so it counts as a worker death.
 		return nil, 0, fmt.Errorf("experiments: %s: %w", p,
 			&supervisor.CrashError{Kind: supervisor.CrashProtocol, Detail: "undecodable result payload: " + err.Error()})
 	}
 	if !wr.OK {
 		return nil, wr.Attempts, errors.New(wr.Err)
 	}
-	res := &core.Result{
+	return &core.Result{
 		Decomposition: wr.Point.Decomposition,
 		GCStats:       wr.Point.GCStats,
 		LoadedClasses: wr.Point.LoadedClasses,
 		FaultCounts:   wr.Point.FaultCounts,
-	}
-	r.storePoint(k, res)
-	r.Metrics.Counter("experiments.isolated.points").Inc()
-	return res, wr.Attempts, nil
+	}, wr.Attempts, nil
 }
 
 // breaker returns the figure's circuit breaker, creating it on first use.
-// Breakers exist only under isolation (worker deaths are the event they
-// count); without a supervisor this returns nil and the nil-safe breaker
-// API keeps the in-process path untouched.
+// Breakers exist only under isolation or a fleet (worker and node deaths
+// are the event they count); without either this returns nil and the
+// nil-safe breaker API keeps the in-process path untouched.
 func (r *Runner) breaker(fig string) *supervisor.Breaker {
-	if r.Supervisor == nil {
+	if r.Supervisor == nil && r.Fleet == nil {
 		return nil
 	}
 	threshold := r.BreakerThreshold

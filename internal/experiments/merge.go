@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"jvmpower/internal/metrics"
+)
+
+// Journal merge: the resume story for a campaign split across a fleet or
+// across several coordinator shards. Each shard run writes its own journal;
+// MergeJournals folds any set of them into one canonical journal that
+// LoadResume consumes exactly as it would a single-process run's — which is
+// what lets `-resume` finish a fleet campaign on one machine, or vice
+// versa.
+//
+// The merged output is a pure function of the SET of resolved points, not
+// of shard order, interleaving, or how many times a point appears:
+//
+//   - only point-completion lines participate; node lifecycle, fault, and
+//     breaker events (any line with a non-empty "event") are provenance,
+//     not completion state, and are dropped;
+//   - per point identity, any "ok" outcome beats any error (some shard
+//     finished it; the cache has it), and among competing error strings the
+//     lexicographically smallest wins so ties resolve without reference to
+//     arrival order;
+//   - the survivors are emitted sorted by point identity with the volatile
+//     fields (source, duration, attempts, memo) dropped or canonicalized —
+//     Source becomes "merged".
+//
+// Merging the same shards in any order therefore produces byte-identical
+// output, which TestMergeJournalsOrderIndependent pins.
+
+// mergeEvent is the journal-line shape MergeJournals reads: the point
+// identity and outcome of a PointEvent, plus the event discriminator that
+// identifies (and excludes) every non-point record.
+type mergeEvent struct {
+	Event     string `json:"event"`
+	Bench     string `json:"bench"`
+	Flavor    string `json:"flavor"`
+	Collector string `json:"collector"`
+	HeapMB    int    `json:"heap_mb"`
+	Platform  string `json:"platform"`
+	S10       bool   `json:"s10"`
+	FanOff    bool   `json:"fan_off"`
+	Outcome   string `json:"outcome"`
+	Error     string `json:"error"`
+}
+
+// mergeIdentity is the comparable point identity merged journals resolve
+// over — the same fields LoadResume keys on.
+type mergeIdentity struct {
+	bench, flavor, collector string
+	heapMB                   int
+	platform                 string
+	s10, fanOff              bool
+}
+
+// MergeJournals resolves the point-completion records of every journal in
+// paths into one canonical journal written to out, returning how many
+// resolved points completed successfully (the count a subsequent LoadResume
+// of the merged journal will report). See the package comment above for the
+// resolution rules that make the output independent of shard order.
+func MergeJournals(out io.Writer, paths ...string) (int, error) {
+	resolved := make(map[mergeIdentity]mergeEvent)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: merge: %w", err)
+		}
+		events, err := metrics.DecodeJournal[mergeEvent](f)
+		f.Close()
+		if err != nil {
+			return 0, fmt.Errorf("experiments: merge: parsing %s: %w", path, err)
+		}
+		for _, ev := range events {
+			if ev.Event != "" {
+				continue // node/fault/breaker provenance, not completion state
+			}
+			id := mergeIdentity{
+				bench: ev.Bench, flavor: ev.Flavor, collector: ev.Collector,
+				heapMB: ev.HeapMB, platform: ev.Platform, s10: ev.S10, fanOff: ev.FanOff,
+			}
+			resolved[id] = resolveOutcome(resolved[id], ev)
+		}
+	}
+	ids := make([]mergeIdentity, 0, len(resolved))
+	for id := range resolved {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return mergeLess(ids[i], ids[j]) })
+	ok := 0
+	enc := json.NewEncoder(out)
+	for _, id := range ids {
+		ev := resolved[id]
+		if ev.Outcome == "ok" {
+			ok++
+		}
+		if err := enc.Encode(PointEvent{
+			Bench: id.bench, Flavor: id.flavor, Collector: id.collector,
+			HeapMB: id.heapMB, Platform: id.platform, S10: id.s10, FanOff: id.fanOff,
+			Outcome: ev.Outcome, Source: "merged", Error: ev.Error,
+		}); err != nil {
+			return 0, fmt.Errorf("experiments: merge: %w", err)
+		}
+	}
+	return ok, nil
+}
+
+// resolveOutcome folds one more shard record into a point's resolution.
+// The zero mergeEvent (no record yet) loses to anything; "ok" beats every
+// error; between errors the lexicographically smaller string wins, so the
+// winner does not depend on which shard's journal was read first.
+func resolveOutcome(have, next mergeEvent) mergeEvent {
+	if have.Outcome == "" {
+		return next
+	}
+	if have.Outcome == "ok" {
+		return have
+	}
+	if next.Outcome == "ok" {
+		return next
+	}
+	if next.Error < have.Error {
+		return next
+	}
+	return have
+}
+
+// mergeLess orders point identities canonically for merged output: the
+// same field order the identity prints in (bench, flavor, collector, heap,
+// platform, s10, fanOff).
+func mergeLess(a, b mergeIdentity) bool {
+	if a.bench != b.bench {
+		return a.bench < b.bench
+	}
+	if a.flavor != b.flavor {
+		return a.flavor < b.flavor
+	}
+	if a.collector != b.collector {
+		return a.collector < b.collector
+	}
+	if a.heapMB != b.heapMB {
+		return a.heapMB < b.heapMB
+	}
+	if a.platform != b.platform {
+		return a.platform < b.platform
+	}
+	if a.s10 != b.s10 {
+		return b.s10
+	}
+	return b.fanOff
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jvmpower/internal/metrics"
+)
+
+func writeShardJournal(t *testing.T, path string, events ...any) {
+	t.Helper()
+	j, err := metrics.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := j.Record(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeJournalsOrderIndependent is the merge property test: resolving
+// the same set of shard journals in every permutation must produce
+// byte-identical output and the same resolved point set — ok beating
+// error, and error ties breaking lexicographically rather than by arrival
+// order. Non-point lines (node, fault) must not leak into the merge.
+func TestMergeJournalsOrderIndependent(t *testing.T) {
+	dir := t.TempDir()
+	pe := func(bench string, heap int, outcome, errstr string) PointEvent {
+		return PointEvent{
+			Bench: bench, Flavor: "JikesRVM", Collector: "GenMS", HeapMB: heap,
+			Platform: "P6", Outcome: outcome, Source: "fleet",
+			DurationMS: 12.5, Attempts: 1, Error: errstr,
+		}
+	}
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	c := filepath.Join(dir, "c.jsonl")
+	writeShardJournal(t, a,
+		pe("_209_db", 64, "ok", ""),
+		pe("_213_javac", 64, "error", "zzz: node died"),
+		FleetNodeEvent{Event: "node", Node: "n0", State: "up", Detail: "env"},
+	)
+	writeShardJournal(t, b,
+		pe("_209_db", 64, "error", "late shard lost it"), // the ok in shard a must win
+		FaultEvent{Event: "fault", Figure: "fig7", Point: "_209_db/...", Error: "lost"},
+		pe("_202_jess", 32, "ok", ""),
+	)
+	writeShardJournal(t, c,
+		pe("_213_javac", 64, "error", "aaa: smallest error string wins the tie"),
+		pe("_202_jess", 32, "ok", ""), // duplicate ok — must not double-count
+	)
+
+	perms := [][]string{
+		{a, b, c}, {a, c, b}, {b, a, c}, {b, c, a}, {c, a, b}, {c, b, a},
+	}
+	var want string
+	wantOK := 0
+	for i, p := range perms {
+		var buf bytes.Buffer
+		n, err := MergeJournals(&buf, p...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want, wantOK = buf.String(), n
+			continue
+		}
+		if buf.String() != want {
+			t.Fatalf("permutation %v produced different merged bytes", p)
+		}
+		if n != wantOK {
+			t.Fatalf("permutation %v resolved %d ok points, want %d", p, n, wantOK)
+		}
+	}
+	if wantOK != 2 {
+		t.Fatalf("merged ok count = %d, want 2", wantOK)
+	}
+
+	evs, err := metrics.DecodeJournal[mergeEvent](strings.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("merged journal has %d lines, want 3 resolved points", len(evs))
+	}
+	outcomes := make(map[string]mergeEvent)
+	for _, ev := range evs {
+		if ev.Event != "" {
+			t.Fatalf("non-point event %q leaked into merged journal", ev.Event)
+		}
+		outcomes[ev.Bench] = ev
+	}
+	if ev := outcomes["_209_db"]; ev.Outcome != "ok" {
+		t.Fatalf("_209_db resolved %q, want the ok to win", ev.Outcome)
+	}
+	if ev := outcomes["_213_javac"]; ev.Outcome != "error" || !strings.HasPrefix(ev.Error, "aaa") {
+		t.Fatalf("_213_javac resolved (%q, %q), want the lexicographically smallest error", ev.Outcome, ev.Error)
+	}
+}
+
+// TestMergeResumeAcrossShards runs a campaign split across two shard
+// journals sharing one disk cache — Figure 6 on one "coordinator", Figure 7
+// on another — then resumes a combined run from the merged journal: the
+// output matches a fresh single-process run byte-for-byte and nothing is
+// recomputed.
+func TestMergeResumeAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "points")
+	runShard := func(jpath, fig string) {
+		var out strings.Builder
+		r := quickRunner(&out)
+		r.CacheDir = cacheDir
+		j, err := metrics.OpenJournal(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Journal = j
+		if err := r.RunFigure(fig); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ja := filepath.Join(dir, "shard-a.jsonl")
+	jb := filepath.Join(dir, "shard-b.jsonl")
+	runShard(ja, "fig6")
+	runShard(jb, "fig7")
+
+	var merged bytes.Buffer
+	n, err := MergeJournals(&merged, ja, jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedPath := filepath.Join(dir, "merged.jsonl")
+	if err := os.WriteFile(mergedPath, merged.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var ref strings.Builder
+	rr := quickRunner(&ref)
+	for _, fig := range []string{"fig6", "fig7"} {
+		if err := rr.RunFigure(fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out strings.Builder
+	r := quickRunner(&out)
+	r.CacheDir = cacheDir
+	r.Metrics = metrics.NewRegistry()
+	loaded, err := r.LoadResume(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != n {
+		t.Fatalf("LoadResume saw %d points, merge resolved %d", loaded, n)
+	}
+	for _, fig := range []string{"fig6", "fig7"} {
+		if err := r.RunFigure(fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.String() != ref.String() {
+		t.Fatal("resumed sharded campaign differs from the fresh single-process run")
+	}
+	if skipped := r.Metrics.Counter("experiments.resume.skipped").Value(); skipped != int64(n) {
+		t.Fatalf("resume skipped %d points, merged journal resolved %d", skipped, n)
+	}
+	if misses := r.Metrics.Counter("experiments.diskcache.misses").Value(); misses != 0 {
+		t.Fatalf("resumed run recomputed %d points", misses)
+	}
+}

@@ -53,7 +53,7 @@ type PointEvent struct {
 	S10        bool    `json:"s10,omitempty"`
 	FanOff     bool    `json:"fan_off,omitempty"`
 	Outcome    string  `json:"outcome"` // "ok" or "error"
-	Source     string  `json:"source"`  // "computed", "isolated", "disk", or "resume"
+	Source     string  `json:"source"`  // "computed", "isolated", "fleet", "disk", "resume", or "merged"
 	DurationMS float64 `json:"duration_ms"`
 	Error      string  `json:"error,omitempty"`
 	// Attempts counts characterization attempts across retries and quorum
@@ -105,6 +105,11 @@ func (r *Runner) runPoint(p Point, k pointKey) (res *core.Result, err error) {
 			r.Metrics.Counter("experiments.resume.skipped").Inc()
 		}
 		return cached, nil
+	}
+	if r.Fleet != nil {
+		source = "fleet"
+		res, attempts, err = r.computeFleet(p, k)
+		return res, err
 	}
 	if r.Supervisor != nil {
 		source = "isolated"

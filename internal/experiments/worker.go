@@ -112,21 +112,7 @@ func serveSpec(out io.Writer, spec pointproto.Spec) error {
 
 	resCh := make(chan workerResult, 1)
 	go func() {
-		if perr != nil {
-			resCh <- workerResult{Err: perr.Error(), Attempts: 1}
-			return
-		}
-		res, attempts, err := inner.computeResilient(p, p.key())
-		if err != nil {
-			resCh <- workerResult{Err: err.Error(), Attempts: attempts}
-			return
-		}
-		resCh <- workerResult{OK: true, Attempts: attempts, Point: cachedPoint{
-			Decomposition: res.Decomposition,
-			GCStats:       res.GCStats,
-			LoadedClasses: res.LoadedClasses,
-			FaultCounts:   res.FaultCounts,
-		}}
+		resCh <- specResult(inner, p, perr)
 	}()
 
 	tick := time.NewTicker(workerHeartbeatInterval)
@@ -138,17 +124,47 @@ func serveSpec(out io.Writer, spec pointproto.Spec) error {
 				return err
 			}
 		case wr := <-resCh:
-			var buf bytes.Buffer
-			if err := gob.NewEncoder(&buf).Encode(&wr); err != nil {
-				wr = workerResult{Err: fmt.Sprintf("experiments: worker encoding result: %v", err), Attempts: wr.Attempts}
-				buf.Reset()
-				if err := gob.NewEncoder(&buf).Encode(&wr); err != nil {
-					return err
-				}
+			payload, err := encodeWorkerResult(wr)
+			if err != nil {
+				return err
 			}
-			return pointproto.WriteFrame(out, pointproto.MsgResult, buf.Bytes())
+			return pointproto.WriteFrame(out, pointproto.MsgResult, payload)
 		}
 	}
+}
+
+// specResult computes one rebuilt spec through the resilience stack,
+// folding the outcome — completed point, point failure, or a rebuild
+// error — into the workerResult shape both transports carry.
+func specResult(inner *Runner, p Point, perr error) workerResult {
+	if perr != nil {
+		return workerResult{Err: perr.Error(), Attempts: 1}
+	}
+	res, attempts, err := inner.computeResilient(p, p.key())
+	if err != nil {
+		return workerResult{Err: err.Error(), Attempts: attempts}
+	}
+	return workerResult{OK: true, Attempts: attempts, Point: cachedPoint{
+		Decomposition: res.Decomposition,
+		GCStats:       res.GCStats,
+		LoadedClasses: res.LoadedClasses,
+		FaultCounts:   res.FaultCounts,
+	}}
+}
+
+// encodeWorkerResult gob-encodes a result payload, degrading an
+// unencodable result to an encoded error so the peer always gets a
+// decodable payload.
+func encodeWorkerResult(wr workerResult) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wr); err != nil {
+		wr = workerResult{Err: fmt.Sprintf("experiments: worker encoding result: %v", err), Attempts: wr.Attempts}
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(&wr); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
 }
 
 // rebuild reconstructs the characterization point and an inner Runner from

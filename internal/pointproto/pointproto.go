@@ -1,17 +1,24 @@
 // Package pointproto is the wire protocol between the experiments
-// dispatcher and its isolated point workers: length-prefixed frames over a
-// worker subprocess's stdin/stdout. The parent sends one Spec per
-// characterization point; the worker streams back Heartbeat frames while it
-// computes and one Result frame when it finishes. Process isolation is what
-// makes a genuinely hung or runaway point recoverable — the parent can
-// SIGKILL the worker and reclaim its CPU and memory, which no in-process
-// guard can do — and the protocol is deliberately tiny so the supervisor
-// can reason about every byte that crosses the boundary.
+// dispatcher and its point executors — both the isolated workers a local
+// supervisor pipes to over stdin/stdout and the remote fleet nodes a
+// coordinator dials over TCP. The frame layer is shared verbatim across
+// both transports: a 1-byte type, a 4-byte length, a payload.
+//
+// The pipe dialect is sequential (one Spec in flight, Heartbeats while it
+// computes, one Result). The socket dialect multiplexes: the node opens
+// with a NodeHello carrying its identity, capacity, and benchstat-style
+// environment capture (per the VM-warmup literature, results from
+// different machines are only comparable with per-node environment
+// provenance), then the coordinator streams Task frames — an ID plus a
+// Spec — and the node answers with TaskResult frames in whatever order
+// points finish, heartbeating all the while so the coordinator's watchdog
+// can tell a slow node from a partitioned one.
 //
 // Like internal/classfile, the decode side is treated as an untrusted-input
-// boundary (a crashed or corrupted worker can emit anything): ReadFrame and
-// UnmarshalSpec must return an error on any malformed input and never panic
-// or over-allocate, which is what the package's fuzz targets drive at them.
+// boundary (a crashed or corrupted peer can emit anything): ReadFrame and
+// every Unmarshal must return an error on any malformed input and never
+// panic or over-allocate, which is what the package's fuzz targets drive
+// at them.
 package pointproto
 
 import (
@@ -45,8 +52,18 @@ const (
 	MsgHeartbeat MsgType = 3
 	// MsgResult carries a completed point's result payload.
 	MsgResult MsgType = 4
+	// MsgNodeHello is a fleet node's first frame on a coordinator
+	// connection: version, identity, capacity, and environment capture.
+	MsgNodeHello MsgType = 5
+	// MsgTask is a coordinator->node multiplexed point: a task ID plus a
+	// Spec. IDs are the coordinator's; the node echoes them back.
+	MsgTask MsgType = 6
+	// MsgTaskResult is a node->coordinator completion: the task ID plus
+	// the opaque result payload (the same bytes a pipe worker's MsgResult
+	// carries).
+	MsgTaskResult MsgType = 7
 
-	maxMsgType = MsgResult
+	maxMsgType = MsgTaskResult
 )
 
 // String names the frame type for diagnostics.
@@ -60,23 +77,29 @@ func (t MsgType) String() string {
 		return "heartbeat"
 	case MsgResult:
 		return "result"
+	case MsgNodeHello:
+		return "node-hello"
+	case MsgTask:
+		return "task"
+	case MsgTaskResult:
+		return "task-result"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
 
 // WriteFrame writes one frame: a 1-byte type, a 4-byte big-endian payload
-// length, then the payload.
+// length, then the payload — in a single Write, so a frame is never torn
+// across the wire by an interleaved writer or a connection wrapper that
+// inspects whole frames.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("pointproto: %s payload %d bytes exceeds max %d", t, len(payload), MaxPayload)
 	}
-	var hdr [5]byte
-	hdr[0] = byte(t)
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 5+len(payload))
+	buf[0] = byte(t)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
@@ -204,6 +227,114 @@ func UnmarshalHello(data []byte) (Hello, error) {
 		return Hello{}, fmt.Errorf("pointproto: hello has %d trailing bytes", len(d.buf)-d.off)
 	}
 	return h, nil
+}
+
+// NodeHello is a fleet node's handshake frame: protocol identity plus the
+// benchstat-style environment capture the coordinator stamps into its
+// journal. Capacity is the node's concurrent-point budget — the coordinator
+// keeps at most that many tasks in flight on the connection.
+type NodeHello struct {
+	Version  uint64
+	Name     string
+	PID      uint64
+	Capacity uint64
+
+	// Environment capture, mirroring benchstat.Environment: two nodes'
+	// results are only comparable as one campaign when this provenance is
+	// recorded next to them.
+	GOOS       string
+	GOARCH     string
+	CPU        string
+	GoVersion  string
+	GOMAXPROCS uint64
+	NumCPU     uint64
+}
+
+// MarshalNodeHello encodes a fleet-node handshake.
+func MarshalNodeHello(h NodeHello) []byte {
+	b := binary.AppendUvarint(nil, h.Version)
+	for _, str := range []string{h.Name, h.GOOS, h.GOARCH, h.CPU, h.GoVersion} {
+		b = binary.AppendUvarint(b, uint64(len(str)))
+		b = append(b, str...)
+	}
+	b = binary.AppendUvarint(b, h.PID)
+	b = binary.AppendUvarint(b, h.Capacity)
+	b = binary.AppendUvarint(b, h.GOMAXPROCS)
+	b = binary.AppendUvarint(b, h.NumCPU)
+	return b
+}
+
+// UnmarshalNodeHello decodes a fleet-node handshake, rejecting malformed
+// or trailing input.
+func UnmarshalNodeHello(data []byte) (NodeHello, error) {
+	d := &specDecoder{buf: data}
+	var h NodeHello
+	h.Version = d.uvarint()
+	h.Name = d.str()
+	h.GOOS = d.str()
+	h.GOARCH = d.str()
+	h.CPU = d.str()
+	h.GoVersion = d.str()
+	h.PID = d.uvarint()
+	h.Capacity = d.uvarint()
+	h.GOMAXPROCS = d.uvarint()
+	h.NumCPU = d.uvarint()
+	if d.err != nil {
+		return NodeHello{}, d.err
+	}
+	if d.off != len(d.buf) {
+		return NodeHello{}, fmt.Errorf("pointproto: node hello has %d trailing bytes", len(d.buf)-d.off)
+	}
+	return h, nil
+}
+
+// Task is one multiplexed coordinator->node point: the coordinator's task
+// ID plus the spec.
+type Task struct {
+	ID   uint64
+	Spec Spec
+}
+
+// MarshalTask encodes a task: the ID, then the spec bytes.
+func MarshalTask(t Task) []byte {
+	b := binary.AppendUvarint(nil, t.ID)
+	return append(b, MarshalSpec(t.Spec)...)
+}
+
+// UnmarshalTask decodes a task.
+func UnmarshalTask(data []byte) (Task, error) {
+	id, n := binary.Uvarint(data)
+	if n <= 0 {
+		return Task{}, fmt.Errorf("pointproto: task: bad id uvarint")
+	}
+	spec, err := UnmarshalSpec(data[n:])
+	if err != nil {
+		return Task{}, fmt.Errorf("pointproto: task %d: %w", id, err)
+	}
+	return Task{ID: id, Spec: spec}, nil
+}
+
+// TaskResult is one multiplexed node->coordinator completion: the echoed
+// task ID plus the opaque result payload.
+type TaskResult struct {
+	ID      uint64
+	Payload []byte
+}
+
+// MarshalTaskResult encodes a completion: the ID, then the payload bytes.
+func MarshalTaskResult(t TaskResult) []byte {
+	b := binary.AppendUvarint(nil, t.ID)
+	return append(b, t.Payload...)
+}
+
+// UnmarshalTaskResult decodes a completion. The payload is aliased, not
+// copied: frames are single-owner once parsed.
+func UnmarshalTaskResult(data []byte) (TaskResult, error) {
+	id, n := binary.Uvarint(data)
+	if n <= 0 {
+		return TaskResult{}, fmt.Errorf("pointproto: task result: bad id uvarint")
+	}
+	return TaskResult{ID: id, Payload: data[n:]}, nil
 }
 
 func appendBool(b []byte, v bool) []byte {

@@ -125,3 +125,56 @@ func TestHelloRoundTrip(t *testing.T) {
 		t.Fatalf("hello round-trip: got %+v, want %+v", got, want)
 	}
 }
+
+// TestNodeHelloRoundTrip covers the fleet handshake codec, including empty
+// environment fields (a node whose CPU model is undiscoverable).
+func TestNodeHelloRoundTrip(t *testing.T) {
+	hellos := []NodeHello{
+		{},
+		{Version: Version, Name: "node-a:7311", PID: 4242, Capacity: 8,
+			GOOS: "linux", GOARCH: "amd64", CPU: "Intel(R) Xeon(R)", GoVersion: "go1.22",
+			GOMAXPROCS: 8, NumCPU: 16},
+		{Version: Version, Name: "pxa", Capacity: 1, GOOS: "linux", GOARCH: "arm"},
+	}
+	for _, want := range hellos {
+		got, err := UnmarshalNodeHello(MarshalNodeHello(want))
+		if err != nil {
+			t.Fatalf("round-trip %+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("node hello round-trip: got %+v, want %+v", got, want)
+		}
+	}
+	b := append(MarshalNodeHello(NodeHello{Name: "x"}), 0x00)
+	if _, err := UnmarshalNodeHello(b); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing byte: err = %v", err)
+	}
+}
+
+// TestTaskRoundTrip checks the multiplexed task and completion codecs.
+func TestTaskRoundTrip(t *testing.T) {
+	want := Task{ID: 7, Spec: Spec{Bench: "_209_db", Flavor: "JikesRVM", Collector: "GenMS",
+		HeapMB: 64, Platform: "P6", Seed: 3, Reps: 2}}
+	got, err := UnmarshalTask(MarshalTask(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("task round-trip: got %+v, want %+v", got, want)
+	}
+	if _, err := UnmarshalTask(nil); err == nil {
+		t.Fatal("empty task accepted")
+	}
+
+	res := TaskResult{ID: 7, Payload: []byte("opaque result bytes")}
+	gotRes, err := UnmarshalTaskResult(MarshalTaskResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.ID != res.ID || !bytes.Equal(gotRes.Payload, res.Payload) {
+		t.Fatalf("task result round-trip: got %+v, want %+v", gotRes, res)
+	}
+	if _, err := UnmarshalTaskResult(nil); err == nil {
+		t.Fatal("empty task result accepted")
+	}
+}

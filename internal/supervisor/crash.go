@@ -42,12 +42,25 @@ const (
 	// CrashTimeout: a hung worker is wedged (deadlock, livelock, stuck
 	// syscall), not merely slow.
 	CrashHang
+	// CrashDisconnect: a fleet node's connection closed — the remote end
+	// hung up (process killed, socket reset, clean close mid-campaign).
+	// The pipe-transport analogue is a worker exiting mid-point, but over
+	// a network the peer may come back, so the coordinator reconnects
+	// rather than respawning.
+	CrashDisconnect
+	// CrashPartition: a fleet node's connection is open but silent — no
+	// heartbeat or result within the watchdog budget. The network-transport
+	// sibling of CrashHang: the node may be wedged, the link may be dead,
+	// or frames may be delayed past usefulness; the coordinator cannot
+	// distinguish these and treats them alike.
+	CrashPartition
 
 	nCrashKinds
 )
 
 var crashKindNames = [nCrashKinds]string{
 	"spawn", "exit", "signal", "oom", "protocol", "timeout", "hang",
+	"disconnect", "partition",
 }
 
 // String returns the kind's metrics/reporting key.
