@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci fuzz fuzz-smoke fleet-smoke bench bench-overhead bench-faults bench-isolate bench-memo bench-fleet bench-steady bench-gate bench-smoke
+.PHONY: build test vet race check ci fuzz fuzz-smoke fleet-smoke crash-torture bench bench-overhead bench-faults bench-isolate bench-memo bench-fleet bench-sync bench-steady bench-gate bench-smoke
 
 build:
 	$(GO) build ./...
@@ -31,17 +31,19 @@ check: build vet test race
 
 # ci mirrors .github/workflows/ci.yml locally: the tier-1 gate plus a short
 # fuzz smoke over every native fuzz target and the two-node fleet smoke.
-ci: build vet test race fuzz-smoke fleet-smoke
+ci: build vet test race fuzz-smoke fleet-smoke crash-torture
 
 # fuzz gives each native fuzz target a short budget. The targets guard the
-# untrusted-input parsers: the fault-plan grammar, the binary program codec,
-# and the supervisor wire protocol (frames and point specs).
+# untrusted-input parsers — the fault-plan grammar, the binary program codec,
+# and the supervisor wire protocol (frames and point specs) — plus the
+# salvaging journal decoder, the crash-recovery path.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/faultinject/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalProgram -fuzztime 10s ./internal/classfile/
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/pointproto/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSpec -fuzztime 10s ./internal/pointproto/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalHello -fuzztime 10s ./internal/pointproto/
+	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/metrics/
 
 # fuzz-smoke is the CI-sized version of fuzz: a few seconds per target,
 # enough to replay the corpus and catch regressions in the parsers.
@@ -51,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 3s ./internal/pointproto/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSpec -fuzztime 3s ./internal/pointproto/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalHello -fuzztime 3s ./internal/pointproto/
+	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 3s ./internal/metrics/
 
 # fleet-smoke is the shell-level distributed smoke: the real binary runs a
 # quick Figure 6 campaign across two loopback `-serve-node` executors and
@@ -59,6 +62,15 @@ fuzz-smoke:
 # disconnect on top.
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# crash-torture is the shell-level durability smoke: the real binary is
+# SIGKILLed at three injected journal offsets (via JVMPOWER_CRASH_JOURNAL),
+# -fsck verifies the wreckage offline, and -resume must reproduce the
+# uninterrupted run's bytes. The in-repo twin,
+# TestKillAnywhereResumeByteIdentical, sweeps the same kill points across
+# the isolate and fleet transports too.
+crash-torture:
+	./scripts/crash_torture.sh
 
 # bench regenerates BENCH_1.json from the headline figure benchmarks.
 bench:
@@ -94,6 +106,14 @@ bench-memo:
 # byte-identical either way, so the number is pure transport cost.
 bench-fleet:
 	./bench.sh BENCH_7.json fleet
+
+# bench-sync regenerates BENCH_8.json: the journal durability default's
+# price on the Fig. 7 hot path — a real file-backed journal with per-record
+# group commit (-journal-sync point) vs buffer-until-Close. The
+# sync_point_vs_close comparison is significance-tested; per-point sync
+# ships as the default only because this number stays within budget.
+bench-sync:
+	./bench.sh BENCH_8.json sync
 
 # bench-steady regenerates BENCH_6.json: one in-process series of the
 # Fig. 7 benchmark bare and memoized with per-iteration timings, segmented

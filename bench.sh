@@ -22,6 +22,9 @@
 #   memo      Figure 7 bare vs sweep-fork memoization (BENCH_5.json).
 #   fleet     Figure 7 bare vs two loopback fleet nodes (BENCH_7.json):
 #             the socket transport's coordination overhead.
+#   sync      Figure 7 with a file-backed journal: per-record group commit
+#             (-journal-sync point, the default) vs buffer-until-Close
+#             (BENCH_8.json) — the durability default's measured price.
 #
 # Iteration modes (one in-process series of $ITERS iterations, timed
 # per-iteration via the harness -iters flag, warmup-segmented):
@@ -65,6 +68,10 @@ fleet)
     OUT=${1:-BENCH_7.json}
     PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPFleet$'
     ;;
+sync)
+    OUT=${1:-BENCH_8.json}
+    PATTERN='BenchmarkFig7EDPJournalSyncPoint$|BenchmarkFig7EDPJournalSyncClose$'
+    ;;
 steady)
     OUT=${1:-BENCH_6.json}
     PATTERN='BenchmarkFig7EDP$|BenchmarkFig7EDPMemo$'
@@ -78,7 +85,7 @@ gate)
     ITERS_MODE=1
     ;;
 *)
-    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults|isolate|memo|fleet|steady|gate)" >&2
+    echo "bench.sh: unknown mode '$MODE' (figures|overhead|faults|isolate|memo|fleet|sync|steady|gate)" >&2
     exit 2
     ;;
 esac

@@ -12,6 +12,7 @@ import (
 	"context"
 	"io"
 	"net"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -228,6 +229,51 @@ func BenchmarkFig7EDPFleet(b *testing.B) {
 		}
 		logIter(b, time.Since(t0))
 	}
+}
+
+// benchFig7Journal regenerates Figure 7 with a real file-backed journal
+// under the given sync policy — the durability pricing harness. Unlike
+// BenchmarkFig7EDPInstrumented's io.Discard journal, the file is real:
+// per-record fsync cost is exactly what is being measured.
+func benchFig7Journal(b *testing.B, policy metrics.SyncPolicy) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		j, err := metrics.OpenJournal(filepath.Join(b.TempDir(), "bench.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		j.SetSync(policy, 0)
+		r := experiments.NewRunner(io.Discard)
+		r.Quick = true
+		r.Journal = j
+		if err := r.RunFigure("fig7"); err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+		logIter(b, time.Since(t0))
+	}
+}
+
+// BenchmarkFig7EDPJournalSyncPoint regenerates Figure 7 journaling to a
+// real file with the default per-record group commit (`-journal-sync
+// point`): every point event is fsynced before the next point can report.
+// The delta against BenchmarkFig7EDPJournalSyncClose is the price of the
+// crash-durability default — the number that makes `-journal-sync point`
+// a measured claim instead of a hope. bench.sh's sync mode records both
+// in BENCH_8.json.
+func BenchmarkFig7EDPJournalSyncPoint(b *testing.B) {
+	benchFig7Journal(b, metrics.SyncPoint)
+}
+
+// BenchmarkFig7EDPJournalSyncClose regenerates Figure 7 journaling to a
+// real file under the legacy buffer-until-Close policy (`-journal-sync
+// close`) — zero fsyncs until the run ends, zero durability if it dies.
+// The baseline the per-point group commit is priced against.
+func BenchmarkFig7EDPJournalSyncClose(b *testing.B) {
+	benchFig7Journal(b, metrics.SyncClose)
 }
 
 // BenchmarkMetricsCounter prices the single-instrument fast path: one

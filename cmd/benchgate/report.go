@@ -76,6 +76,10 @@ var modes = map[string]modeSpec{
 		description: "Distributed-execution coordination overhead on the Fig. 7 hot path: bare (in-process) vs every point dispatched to two loopback executor nodes over the socket transport (framing, gob encode/decode, scheduling, loopback TCP; the benchmark fails unless points actually flowed through the fleet). The fleet_vs_bare comparison is Mann–Whitney-tested with a bootstrap CI on the effect. Figures are byte-identical either way — the cross-node determinism gate enforces it — so this number is pure transport cost, amortized across real campaigns by node parallelism that a single-machine loopback run deliberately does not exploit.",
 		comparisons: []comparisonSpec{{"fleet_vs_bare", "BenchmarkFig7EDPFleet", "BenchmarkFig7EDP"}},
 	},
+	"sync": {
+		description: "Journal durability pricing on the Fig. 7 hot path: a real file-backed journal under the default per-record group commit (-journal-sync point) vs the legacy buffer-until-Close policy. The sync_point_vs_close comparison is Mann–Whitney-tested with a bootstrap CI on the effect; the fsync cost is only a claim when significant. This is the measured basis for shipping per-point sync as the default.",
+		comparisons: []comparisonSpec{{"sync_point_vs_close", "BenchmarkFig7EDPJournalSyncPoint", "BenchmarkFig7EDPJournalSyncClose"}},
+	},
 	"steady": {
 		description: "Steady-state benchmark evidence for the Fig. 7 hot path: each benchmark ran as one in-process series with per-iteration timings (-iters), segmented into warmup and steady state by changepoint detection; median/min/max/stddev and the bootstrap percentile CI summarize the steady segment only. The memo_vs_bare comparison is Mann–Whitney-tested on the steady samples with a bootstrap CI on the effect. A speedup or overhead number from this file is a claim only when its comparison is significant and the environments match.",
 		comparisons: []comparisonSpec{{"memo_vs_bare", "BenchmarkFig7EDPMemo", "BenchmarkFig7EDP"}},
@@ -87,7 +91,7 @@ var modes = map[string]modeSpec{
 
 func runReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
-	mode := fs.String("mode", "", "report mode: figures|overhead|faults|isolate|memo|fleet|steady|gate")
+	mode := fs.String("mode", "", "report mode: figures|overhead|faults|isolate|memo|fleet|sync|steady|gate")
 	count := fs.Int("count", 0, "required repetitions per benchmark (0 = don't enforce)")
 	itersPath := fs.String("iters", "", "per-iteration JSONL file emitted by the harness -iters flag")
 	out := fs.String("out", "", "output file (default stdout)")
@@ -99,7 +103,7 @@ func runReport(args []string) error {
 	}
 	spec, ok := modes[*mode]
 	if !ok {
-		return fmt.Errorf("unknown mode %q (figures|overhead|faults|isolate|memo|steady|gate)", *mode)
+		return fmt.Errorf("unknown mode %q (figures|overhead|faults|isolate|memo|fleet|sync|steady|gate)", *mode)
 	}
 
 	parsed, err := benchstat.Parse(os.Stdin)

@@ -17,6 +17,8 @@
 //	experiments -serve-node :9310                     # run a fleet executor node
 //	experiments -all -nodes host1:9310,host2:9310     # distribute points across nodes
 //	experiments -merge-journals a.jsonl,b.jsonl -journal merged.jsonl
+//	experiments -all -journal j.jsonl -journal-sync interval=2s
+//	experiments -fsck -cache .points -journal j.jsonl       # offline integrity check
 package main
 
 import (
@@ -78,6 +80,9 @@ func run() int {
 		serveNode   = flag.String("serve-node", "", "run as a fleet executor node listening on this address (host:port; port 0 picks one)")
 		capacity    = flag.Int("capacity", 0, "with -serve-node: concurrent-point budget advertised to the coordinator (0 = GOMAXPROCS)")
 		mergeList   = flag.String("merge-journals", "", "comma-separated shard journals to merge into -journal FILE, then exit")
+		journalSync = flag.String("journal-sync", "point", "journal durability policy: point (fsync per record), interval[=DUR], or close")
+		fsck        = flag.Bool("fsck", false, "offline integrity check: scan -cache DIR and/or -journal FILE, quarantine/repair corruption, then exit")
+		fsckRepair  = flag.Bool("fsck-repair", false, "with -fsck: rewrite a corrupt journal to its salvaged records (backup kept as FILE.pre-fsck)")
 	)
 	flag.Parse()
 
@@ -97,6 +102,24 @@ func run() int {
 		return 1
 	}
 
+	if *fsck {
+		// Offline integrity mode: verify every cache entry and/or journal
+		// record without running anything. Exit 0 when everything is intact,
+		// 4 when corruption was found (and, with -fsck-repair, dealt with),
+		// 1 on operational errors.
+		if *cacheDir == "" && *journalFile == "" {
+			return fail(errors.New("-fsck needs -cache DIR and/or -journal FILE to check"))
+		}
+		rep, err := experiments.Fsck(os.Stderr, *cacheDir, *journalFile, *fsckRepair)
+		if err != nil {
+			return fail(err)
+		}
+		if rep.Corrupt() {
+			return 4
+		}
+		return 0
+	}
+
 	if *mergeList != "" {
 		// Journal-merge mode: fold shard journals from a split campaign into
 		// one canonical resume journal and exit. The output is order-independent
@@ -109,12 +132,15 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		n, err := experiments.MergeJournals(f, paths...)
+		n, mrep, err := experiments.MergeJournals(f, paths...)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return fail(err)
+		}
+		if !mrep.Clean() {
+			fmt.Fprintf(os.Stderr, "experiments: merge salvaged corrupt input(s):\n%s\n", mrep)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: merged %d journal(s): %d completed point(s)\n", len(paths), n)
 		return 0
@@ -267,11 +293,11 @@ func run() int {
 		if *journalFile == "" || *cacheDir == "" {
 			return fail(errors.New("-resume needs -journal FILE (the completion record) and -cache DIR (the data)"))
 		}
-		n, err := r.LoadResume(*journalFile)
+		rrep, err := r.LoadResume(*journalFile)
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "experiments: resume: %d point(s) completed by previous run\n", n)
+		fmt.Fprintf(os.Stderr, "experiments: resume: %s\n", rrep)
 	}
 	if *journalFile != "" {
 		open := metrics.OpenJournal
@@ -282,6 +308,22 @@ func run() int {
 		j, err := open(*journalFile)
 		if err != nil {
 			return fail(err)
+		}
+		policy, interval, err := metrics.ParseSyncPolicy(*journalSync)
+		if err != nil {
+			return fail(err)
+		}
+		j.SetSync(policy, interval)
+		if dir := os.Getenv("JVMPOWER_CRASH_JOURNAL"); dir != "" {
+			// Crash-torture hook (tests and scripts/crash_torture.sh only):
+			// SIGKILL this process after the Nth journal record, or mid-way
+			// through writing it.
+			n, mid, err := metrics.ParseCrashDirective(dir)
+			if err != nil {
+				return fail(err)
+			}
+			j.SetCrashPoint(n, mid)
+			fmt.Fprintf(os.Stderr, "experiments: crash injection armed: %s\n", dir)
 		}
 		defer func() {
 			if err := j.Close(); err != nil {

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jvmpower/internal/metrics"
+	"jvmpower/internal/platform"
+	"jvmpower/internal/vm"
+	"jvmpower/internal/workloads"
+)
+
+// cacheEntryPath writes one point through a cache directory and returns
+// the path of the single .point entry it produced, plus the point and its
+// freshly computed result for later comparison.
+func cacheEntryPath(t *testing.T) (string, Point, *strings.Builder) {
+	t.Helper()
+	dir := t.TempDir()
+	b, err := workloads.ByName("_209_db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{Bench: b, Flavor: vm.Jikes, Collector: "GenMS", HeapMB: 48, Platform: platform.P6()}
+	var buf strings.Builder
+	r := quickRunner(&buf)
+	r.CacheDir = dir
+	if _, err := r.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.point"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one cache entry, got %v (err %v)", entries, err)
+	}
+	return entries[0], p, &buf
+}
+
+// TestCacheEnvelopeRoundTrip: a sealed entry opens to exactly the payload
+// that went in, and every header violation is named.
+func TestCacheEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("not really gob, but the envelope does not care")
+	sealed := sealCacheEntry(payload)
+	got, err := openCacheEntry(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mangled: %q", got)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"short":       func(b []byte) []byte { return b[:cacheHeaderLen-1] },
+		"bad magic":   func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"bad version": func(b []byte) []byte { c := append([]byte(nil), b...); c[4] = 99; return c },
+		"flipped payload": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[cacheHeaderLen] ^= 0x01
+			return c
+		},
+		"flipped crc": func(b []byte) []byte { c := append([]byte(nil), b...); c[5] ^= 0x01; return c },
+		"truncated payload": func(b []byte) []byte {
+			return b[:len(b)-1]
+		},
+	} {
+		if _, err := openCacheEntry(mutate(sealed)); err == nil {
+			t.Errorf("%s: corrupt envelope opened cleanly", name)
+		}
+	}
+}
+
+// TestCorruptCacheEntryQuarantinedAndRecomputed flips one byte of a
+// persisted entry's payload and reruns the point: the load must miss, the
+// entry must land in the corrupt/ sidecar, the corruption metric must
+// tick, and the recomputed result must be bit-identical to the original —
+// corruption costs a recompute, never a number.
+func TestCorruptCacheEntryQuarantinedAndRecomputed(t *testing.T) {
+	entry, p, _ := cacheEntryPath(t)
+	dir := filepath.Dir(entry)
+
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(entry, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var clean strings.Builder
+	rClean := quickRunner(&clean)
+	want, err := rClean.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	r := quickRunner(&buf)
+	r.CacheDir = dir
+	r.Metrics = metrics.NewRegistry()
+	got, err := r.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meter == nil {
+		t.Fatal("corrupt entry was served from cache (loaded results have nil Meter)")
+	}
+	samePoint(t, "recompute after corruption", want, got)
+	if n := r.Metrics.Counter("experiments.diskcache.corrupt").Value(); n != 1 {
+		t.Fatalf("diskcache.corrupt = %d, want 1", n)
+	}
+	q := filepath.Join(dir, corruptDirName, filepath.Base(entry))
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("corrupt entry not quarantined at %s: %v", q, err)
+	}
+	// The recompute re-persists the point, so the entry is back — and the
+	// rewrite must be intact.
+	fresh, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatalf("recompute did not re-persist the entry: %v", err)
+	}
+	if _, err := openCacheEntry(fresh); err != nil {
+		t.Fatalf("re-persisted entry fails verification: %v", err)
+	}
+}
+
+// TestTruncatedAndForeignCacheEntries: a truncated entry and a file of
+// garbage both quarantine and recompute rather than decode.
+func TestTruncatedAndForeignCacheEntries(t *testing.T) {
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"garbage":   func([]byte) []byte { return []byte("this was never a cache entry") },
+		"empty":     func([]byte) []byte { return nil },
+	} {
+		t.Run(name, func(t *testing.T) {
+			entry, p, _ := cacheEntryPath(t)
+			data, err := os.ReadFile(entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(entry, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var buf strings.Builder
+			r := quickRunner(&buf)
+			r.CacheDir = filepath.Dir(entry)
+			r.Metrics = metrics.NewRegistry()
+			got, err := r.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Meter == nil {
+				t.Fatal("corrupt entry served from cache")
+			}
+			if n := r.Metrics.Counter("experiments.diskcache.corrupt").Value(); n != 1 {
+				t.Fatalf("diskcache.corrupt = %d, want 1", n)
+			}
+		})
+	}
+}
+
+// TestStorePointWriteErrorsCounted points the cache at an unwritable
+// directory: the run must still succeed, every failed write must tick
+// experiments.diskcache.write_errors, and exactly one warning must reach
+// the journal no matter how many writes fail.
+func TestStorePointWriteErrorsCounted(t *testing.T) {
+	if os.Geteuid() == 0 {
+		// root ignores permission bits; use a file-as-directory instead.
+		t.Log("running as root: using a file in place of the cache dir")
+	}
+	base := t.TempDir()
+	blocked := filepath.Join(base, "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("file, not dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(blocked, "cache") // MkdirAll must fail: parent is a file
+
+	b, err := workloads.ByName("_209_db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf, jbuf strings.Builder
+	r := quickRunner(&buf)
+	r.CacheDir = cacheDir
+	r.Metrics = metrics.NewRegistry()
+	r.Journal = metrics.NewJournal(&jbuf)
+
+	for _, heap := range []int{40, 48} {
+		p := Point{Bench: b, Flavor: vm.Jikes, Collector: "GenMS", HeapMB: heap, Platform: platform.P6()}
+		if _, err := r.Run(p); err != nil {
+			t.Fatalf("run failed because the cache is unwritable: %v", err)
+		}
+	}
+	if err := r.Journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Metrics.Counter("experiments.diskcache.write_errors").Value(); n != 2 {
+		t.Fatalf("diskcache.write_errors = %d, want 2", n)
+	}
+	warnings := strings.Count(jbuf.String(), `"kind":"write_error"`)
+	if warnings != 1 {
+		t.Fatalf("journal carries %d write_error warnings, want exactly 1:\n%s", warnings, jbuf.String())
+	}
+}

@@ -115,6 +115,11 @@ type Runner struct {
 	faultMu sync.Mutex
 	faults  []FaultRecord
 
+	// cacheWarnOnce gates the journal warning for disk-cache write
+	// failures to one per runner; the write_errors counter carries the
+	// full tally.
+	cacheWarnOnce sync.Once
+
 	breakerMu sync.Mutex
 	breakers  map[string]*supervisor.Breaker
 

@@ -205,7 +205,7 @@ func TestFleetResumeByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := MergeJournals(mf, journalPath)
+	n, _, err := MergeJournals(mf, journalPath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,12 +18,21 @@ import (
 // running the test suite. No separate binary to build, and the worker runs
 // exactly the package under test.
 func TestMain(m *testing.M) {
+	// The worker check stays FIRST: crash-driver subprocesses (below) spawn
+	// supervised workers that inherit the driver's environment, and a
+	// process with both variables set must serve points, not drive.
 	if os.Getenv("JVMPOWER_WORKER") == "1" {
 		if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		os.Exit(0)
+	}
+	if os.Getenv("JVMPOWER_CRASH_DRIVER") == "1" {
+		// Crash-torture mode: run a real figure campaign, journal and
+		// cache live, with kill-point injection armed — the subprocess the
+		// kill-anywhere gate SIGKILLs and then resumes. See crashgate_test.go.
+		os.Exit(crashDriverMain())
 	}
 	os.Exit(m.Run())
 }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -59,23 +58,71 @@ type mergeIdentity struct {
 	s10, fanOff              bool
 }
 
+// MergeSalvage is one input journal's corruption accounting in a
+// MergeReport.
+type MergeSalvage struct {
+	Path    string
+	Salvage metrics.SalvageReport
+}
+
+// MergeReport is the accounting of one MergeJournals: per-input salvage
+// results, so a fleet resume that merged a crash-torn shard journal says
+// so instead of silently resolving fewer points.
+type MergeReport struct {
+	Inputs []MergeSalvage
+}
+
+// Clean reports whether every input journal decoded without drops.
+func (mr MergeReport) Clean() bool {
+	for _, in := range mr.Inputs {
+		if !in.Salvage.Clean() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the non-clean inputs, one per line.
+func (mr MergeReport) String() string {
+	s := ""
+	for _, in := range mr.Inputs {
+		if in.Salvage.Clean() {
+			continue
+		}
+		if s != "" {
+			s += "\n"
+		}
+		s += fmt.Sprintf("%s: %s", in.Path, in.Salvage)
+	}
+	return s
+}
+
 // MergeJournals resolves the point-completion records of every journal in
 // paths into one canonical journal written to out, returning how many
 // resolved points completed successfully (the count a subsequent LoadResume
-// of the merged journal will report). See the package comment above for the
-// resolution rules that make the output independent of shard order.
-func MergeJournals(out io.Writer, paths ...string) (int, error) {
+// of the merged journal will report) plus per-input salvage accounting.
+// See the package comment above for the resolution rules that make the
+// output independent of shard order.
+//
+// Inputs are read through the salvaging decoder: a shard journal with a
+// crash-torn or corrupted tail contributes its valid prefix and is noted
+// in the report rather than failing the whole merge — exactly what a
+// fleet resume after a node SIGKILL needs. Only I/O errors (an unreadable
+// file, a failed write to out) abort.
+func MergeJournals(out io.Writer, paths ...string) (int, MergeReport, error) {
+	var report MergeReport
 	resolved := make(map[mergeIdentity]mergeEvent)
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			return 0, fmt.Errorf("experiments: merge: %w", err)
+			return 0, report, fmt.Errorf("experiments: merge: %w", err)
 		}
-		events, err := metrics.DecodeJournal[mergeEvent](f)
+		events, salvage, err := metrics.DecodeJournalSalvage[mergeEvent](f)
 		f.Close()
 		if err != nil {
-			return 0, fmt.Errorf("experiments: merge: parsing %s: %w", path, err)
+			return 0, report, fmt.Errorf("experiments: merge: reading %s: %w", path, err)
 		}
+		report.Inputs = append(report.Inputs, MergeSalvage{Path: path, Salvage: salvage})
 		for _, ev := range events {
 			if ev.Event != "" {
 				continue // node/fault/breaker provenance, not completion state
@@ -93,21 +140,27 @@ func MergeJournals(out io.Writer, paths ...string) (int, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return mergeLess(ids[i], ids[j]) })
 	ok := 0
-	enc := json.NewEncoder(out)
 	for _, id := range ids {
 		ev := resolved[id]
 		if ev.Outcome == "ok" {
 			ok++
 		}
-		if err := enc.Encode(PointEvent{
+		// Merged output goes through the record encoder, so it carries the
+		// same CRC envelope live journals do: a merged journal is as
+		// crash-verifiable as the shards it resolved.
+		line, err := metrics.EncodeRecord(PointEvent{
 			Bench: id.bench, Flavor: id.flavor, Collector: id.collector,
 			HeapMB: id.heapMB, Platform: id.platform, S10: id.s10, FanOff: id.fanOff,
 			Outcome: ev.Outcome, Source: "merged", Error: ev.Error,
-		}); err != nil {
-			return 0, fmt.Errorf("experiments: merge: %w", err)
+		})
+		if err != nil {
+			return 0, report, fmt.Errorf("experiments: merge: %w", err)
+		}
+		if _, err := out.Write(line); err != nil {
+			return 0, report, fmt.Errorf("experiments: merge: %w", err)
 		}
 	}
-	return ok, nil
+	return ok, report, nil
 }
 
 // resolveOutcome folds one more shard record into a point's resolution.

@@ -65,9 +65,12 @@ func TestMergeJournalsOrderIndependent(t *testing.T) {
 	wantOK := 0
 	for i, p := range perms {
 		var buf bytes.Buffer
-		n, err := MergeJournals(&buf, p...)
+		n, mrep, err := MergeJournals(&buf, p...)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if !mrep.Clean() {
+			t.Fatalf("clean shard journals reported salvage drops: %s", mrep)
 		}
 		if i == 0 {
 			want, wantOK = buf.String(), n
@@ -136,7 +139,7 @@ func TestMergeResumeAcrossShards(t *testing.T) {
 	runShard(jb, "fig7")
 
 	var merged bytes.Buffer
-	n, err := MergeJournals(&merged, ja, jb)
+	n, _, err := MergeJournals(&merged, ja, jb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,12 +160,12 @@ func TestMergeResumeAcrossShards(t *testing.T) {
 	r := quickRunner(&out)
 	r.CacheDir = cacheDir
 	r.Metrics = metrics.NewRegistry()
-	loaded, err := r.LoadResume(mergedPath)
+	rrep, err := r.LoadResume(mergedPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded != n {
-		t.Fatalf("LoadResume saw %d points, merge resolved %d", loaded, n)
+	if rrep.Completed != n {
+		t.Fatalf("LoadResume saw %d points, merge resolved %d", rrep.Completed, n)
 	}
 	for _, fig := range []string{"fig6", "fig7"} {
 		if err := r.RunFigure(fig); err != nil {

@@ -40,6 +40,20 @@ import (
 //	memo.hits / memo.misses / memo.evictions  gauge    sweep-fork memo store
 //	memo.entries / memo.bytes                 gauge    (set after each RunAll
 //	                                                   when -memo is on)
+//	diskcache.corrupt                         counter  cache entries that
+//	                                                   failed envelope
+//	                                                   verification and were
+//	                                                   quarantined
+//	diskcache.write_errors                    counter  failed cache writes
+//	                                                   (first also journals a
+//	                                                   CacheEvent warning)
+//	resume.unparseable                        counter  journal point records
+//	                                                   skipped by LoadResume
+//	                                                   (unknown VM flavor)
+//	resume.salvage_dropped                    counter  corrupt journal lines
+//	                                                   dropped by the
+//	                                                   salvaging decoder
+//	                                                   during LoadResume
 
 // PointEvent is one run-journal record: the point's identity, where its
 // result came from, how long it took, and how it ended. LoadResume replays

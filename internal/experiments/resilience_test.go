@@ -213,10 +213,11 @@ func TestFaultCampaignAndResume(t *testing.T) {
 	r2.CacheDir = cacheDir
 	r2.Faults = mustPlan(t, spec)
 	r2.Metrics = metrics.NewRegistry()
-	n, err := r2.LoadResume(journalPath)
+	rrep, err := r2.LoadResume(journalPath)
 	if err != nil {
 		t.Fatal(err)
 	}
+	n := rrep.Completed
 	if int64(n) != completed {
 		t.Fatalf("resume loaded %d points, campaign completed %d", n, completed)
 	}
