@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci fuzz fuzz-smoke fleet-smoke crash-torture bench bench-overhead bench-faults bench-isolate bench-memo bench-fleet bench-sync bench-steady bench-gate bench-smoke
+.PHONY: build test vet race check ci fuzz fuzz-smoke fleet-smoke crash-torture daemon-smoke bench bench-overhead bench-faults bench-isolate bench-memo bench-fleet bench-sync bench-steady bench-gate bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,21 +17,23 @@ vet:
 # race exercises the concurrent machinery under the race detector: the
 # experiment dispatcher (RunAll workers, singleflight coalescing), the
 # metrics registry's atomic instruments, the supervisor's worker pool
-# (watchdogs, kills, restarts) with its framed protocol, and the fleet
-# coordinator (socket transport, work stealing, requeue, node breakers).
+# (watchdogs, kills, restarts) with its framed protocol, the fleet
+# coordinator (socket transport, work stealing, requeue, node breakers),
+# and the job queue (admission, quotas, drain, concurrent submitters).
 # The experiments package runs the full determinism suite (isolated, memo,
-# fleet, resume) under the detector, which takes ~11 minutes on a single
-# core — past go test's default 10m per-package limit, hence the explicit
-# timeout.
+# fleet, resume, daemon) under the detector, which takes ~11 minutes on a
+# single core — past go test's default 10m per-package limit, hence the
+# explicit timeout.
 race:
-	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/metrics/... ./internal/supervisor/... ./internal/pointproto/... ./internal/fleet/...
+	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/metrics/... ./internal/supervisor/... ./internal/pointproto/... ./internal/fleet/... ./internal/jobqueue/...
 
 # check is the tier-1 gate: everything must pass before a change lands.
 check: build vet test race
 
 # ci mirrors .github/workflows/ci.yml locally: the tier-1 gate plus a short
-# fuzz smoke over every native fuzz target and the two-node fleet smoke.
-ci: build vet test race fuzz-smoke fleet-smoke crash-torture
+# fuzz smoke over every native fuzz target and the shell-level smokes
+# (fleet, crash, daemon).
+ci: build vet test race fuzz-smoke fleet-smoke crash-torture daemon-smoke
 
 # fuzz gives each native fuzz target a short budget. The targets guard the
 # untrusted-input parsers — the fault-plan grammar, the binary program codec,
@@ -71,6 +73,15 @@ fleet-smoke:
 # the isolate and fleet transports too.
 crash-torture:
 	./scripts/crash_torture.sh
+
+# daemon-smoke is the characterization service's end-to-end check: the
+# real binary runs as `-daemon`, curl submits a quick Figure 6 campaign
+# whose /result must byte-match the one-shot CLI, a SIGKILL mid-campaign
+# must recover byte-identically on restart, and SIGTERM must drain to a
+# clean exit 0. The in-repo twins are TestDaemonJobLifecycle,
+# TestDaemonOverloadGate, and TestDaemonCrashRecovery.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 # bench regenerates BENCH_1.json from the headline figure benchmarks.
 bench:

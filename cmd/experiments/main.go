@@ -19,6 +19,8 @@
 //	experiments -merge-journals a.jsonl,b.jsonl -journal merged.jsonl
 //	experiments -all -journal j.jsonl -journal-sync interval=2s
 //	experiments -fsck -cache .points -journal j.jsonl       # offline integrity check
+//	experiments -daemon -http :8080 -cache .points -journal jobs.jsonl
+//	                                  # characterization service: POST /jobs
 package main
 
 import (
@@ -83,6 +85,12 @@ func run() int {
 		journalSync = flag.String("journal-sync", "point", "journal durability policy: point (fsync per record), interval[=DUR], or close")
 		fsck        = flag.Bool("fsck", false, "offline integrity check: scan -cache DIR and/or -journal FILE, quarantine/repair corruption, then exit")
 		fsckRepair  = flag.Bool("fsck-repair", false, "with -fsck: rewrite a corrupt journal to its salvaged records (backup kept as FILE.pre-fsck)")
+		daemonMode  = flag.Bool("daemon", false, "characterization service: accept campaign jobs over -http with admission control and a crash-safe job log in -journal")
+		queueDepth  = flag.Int("queue-depth", 64, "with -daemon: pending-job bound; submissions beyond it are shed with 503")
+		maxInflight = flag.Int("max-inflight", 2, "with -daemon: concurrently running jobs")
+		quotaRate   = flag.Float64("quota-rate", 1, "with -daemon: per-client sustained submission rate in jobs/second (0 = no quotas)")
+		quotaBurst  = flag.Int("quota-burst", 8, "with -daemon: per-client submission burst above the sustained rate")
+		jobDeadline = flag.Duration("job-deadline", 0, "with -daemon: default deadline for jobs that set none (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -100,6 +108,26 @@ func run() int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1
+	}
+
+	if *daemonMode {
+		// The daemon's per-campaign knobs (seed, quick, faults, reps,
+		// deadline) arrive in each job's spec; the flags below would be
+		// silently ignored or conflict outright, so refuse them loudly.
+		switch {
+		case *fig != "" || *all:
+			return fail(errors.New("-daemon runs campaigns submitted over HTTP; drop -fig/-all"))
+		case *httpAddr == "" || *journalFile == "" || *cacheDir == "":
+			return fail(errors.New("-daemon needs -http ADDR (the job API), -journal FILE (the durable job log), and -cache DIR (the point store recovery resumes from)"))
+		case *resume:
+			return fail(errors.New("-daemon recovers incomplete jobs from its journal automatically; -resume is the one-shot path"))
+		case *memo:
+			return fail(errors.New("-memo is per-run and in-process; the daemon's per-job runners cannot share it"))
+		case *faults != "":
+			return fail(errors.New("-daemon takes fault plans per campaign (the \"faults\" field of the job spec), not globally"))
+		case *serveNode != "":
+			return fail(errors.New("-daemon and -serve-node are different services; run one per process"))
+		}
 	}
 
 	if *fsck {
@@ -197,19 +225,36 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "experiments: fault plan active: %s\n", plan)
 	}
 
-	// SIGINT/SIGTERM cancel the run context: in-flight points are
-	// abandoned, the dispatcher unwinds with context.Canceled, and every
-	// deferred flush below (metrics snapshot, journal, profiles) still
-	// executes before the nonzero exit. A second signal restores default
-	// handling, so a stuck run can be killed outright.
+	// Signal handling splits by mode. One-shot runs: SIGINT/SIGTERM cancel
+	// the run context — in-flight points are abandoned, the dispatcher
+	// unwinds with context.Canceled, and every deferred flush below
+	// (metrics snapshot, journal, profiles) still executes before the
+	// nonzero exit; a second signal restores default handling so a stuck
+	// run can be killed outright. Services (-daemon, -serve-node) drain
+	// instead: the first signal closes drainC — stop admissions, finish
+	// in-flight work, exit cleanly — and only the second escalates to the
+	// hard cancel.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	sigC := make(chan os.Signal, 1)
+	drainC := make(chan struct{})
+	graceful := *daemonMode || *serveNode != ""
+	sigC := make(chan os.Signal, 2)
 	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigC)
 	go func() {
 		sig, ok := <-sigC
 		if !ok {
+			return
+		}
+		if graceful {
+			fmt.Fprintf(os.Stderr, "\nexperiments: %v: draining (again to abort)\n", sig)
+			close(drainC)
+			if sig, ok = <-sigC; !ok {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "\nexperiments: %v: aborting\n", sig)
+			cancel()
+			signal.Stop(sigC)
 			return
 		}
 		fmt.Fprintf(os.Stderr, "\nexperiments: %v: cancelling run (again to kill)\n", sig)
@@ -220,9 +265,10 @@ func run() int {
 
 	if *serveNode != "" {
 		// Executor-node mode: serve points to a remote coordinator until
-		// interrupted. The runner, caches, and journal above are unused —
-		// every setting that determines a point's bytes arrives in the spec.
-		if err := experiments.ServeNode(ctx, *serveNode, *capacity, os.Stderr); err != nil {
+		// drained or interrupted. The runner, caches, and journal above are
+		// unused — every setting that determines a point's bytes arrives in
+		// the spec.
+		if err := experiments.ServeNode(ctx, *serveNode, *capacity, drainC, os.Stderr); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -299,10 +345,12 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "experiments: resume: %s\n", rrep)
 	}
+	var jnl *metrics.Journal
 	if *journalFile != "" {
 		open := metrics.OpenJournal
-		if *resume {
-			// The prior run's events are the resume record; append to them.
+		if *resume || *daemonMode {
+			// The prior run's events are the resume record (and, for the
+			// daemon, the job log recovery replays); append to them.
 			open = metrics.OpenJournalAppend
 		}
 		j, err := open(*journalFile)
@@ -331,7 +379,37 @@ func run() int {
 			}
 		}()
 		r.Journal = j
+		jnl = j
 	}
+
+	// Daemon construction precedes the HTTP server so the job API mounts
+	// on the same mux as /metrics. Recovery runs before Start: incomplete
+	// jobs from the previous life are requeued ahead of any executor.
+	var dmn *experiments.Daemon
+	recovered := 0
+	if *daemonMode {
+		dmn = experiments.NewDaemon(experiments.DaemonConfig{
+			Journal:          jnl,
+			JournalPath:      *journalFile,
+			Metrics:          reg,
+			CacheDir:         *cacheDir,
+			Supervisor:       r.Supervisor,
+			Fleet:            r.Fleet,
+			BreakerThreshold: *breakerK,
+			PointTimeout:     *pointTO,
+			MaxQueue:         *queueDepth,
+			MaxInflight:      *maxInflight,
+			QuotaRate:        *quotaRate,
+			QuotaBurst:       *quotaBurst,
+			DefaultDeadline:  *jobDeadline,
+			Log:              os.Stderr,
+		})
+		var err error
+		if recovered, err = dmn.Recover(); err != nil {
+			return fail(err)
+		}
+	}
+
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -345,12 +423,24 @@ func run() int {
 		mux.HandleFunc("/debug/pprof/profile", hpprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", hpprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", hpprof.Trace)
+		if dmn != nil {
+			dmn.RegisterHTTP(mux)
+			fmt.Fprintf(os.Stderr, "experiments: job API at http://%s/jobs and /healthz\n", ln.Addr())
+		}
 		fmt.Fprintf(os.Stderr, "experiments: introspection at http://%s/metrics and /debug/pprof\n", ln.Addr())
 		srv := &http.Server{
-			Handler: mux,
+			// Every request is tagged with an X-Request-Id so client error
+			// bodies correlate with the stderr log.
+			Handler: experiments.WithRequestID(mux),
 			// A peer that connects and never finishes its request headers
-			// must not pin a connection (and its goroutine) forever.
+			// (or body, or never reads its response) must not pin a
+			// connection and its goroutine forever. Long responses — pprof
+			// profiles, job progress streams — extend their own write
+			// deadline via http.ResponseController.
 			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       15 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
 		}
 		go func() { _ = srv.Serve(ln) }()
 		// Deferred, so the unwind path — including the SIGINT/SIGTERM
@@ -361,6 +451,33 @@ func run() int {
 			defer shCancel()
 			_ = srv.Shutdown(shCtx)
 		}()
+	}
+
+	if dmn != nil {
+		// Service mode: run until drained. The first SIGINT/SIGTERM stops
+		// admissions (new submissions shed with a typed "draining" error),
+		// lets running jobs finish, leaves queued jobs checkpointed in the
+		// journal, and exits 0; a second signal aborts crash-consistently
+		// (no terminal records — the next life recovers the in-flight
+		// jobs). The deferred journal close and HTTP shutdown above run on
+		// both paths.
+		dmn.Start()
+		fmt.Fprintf(os.Stderr, "experiments: daemon ready on %s (%d job(s) recovered)\n", *httpAddr, recovered)
+		select {
+		case <-drainC:
+			dmn.Drain()
+			if err := dmn.Wait(ctx); err != nil {
+				dmn.Abort()
+				fmt.Fprintln(os.Stderr, "experiments: daemon aborted mid-drain")
+				return 130
+			}
+			fmt.Fprintln(os.Stderr, "experiments: daemon drained cleanly")
+			return 0
+		case <-ctx.Done():
+			dmn.Abort()
+			fmt.Fprintln(os.Stderr, "experiments: daemon aborted")
+			return 130
+		}
 	}
 
 	start := time.Now()

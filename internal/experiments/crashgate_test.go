@@ -100,7 +100,9 @@ func crashDriverMain() int {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		go func() { _ = fleet.Serve(ctx, ln, fleet.ServeConfig{Name: "n0", Capacity: 2, Handler: HandleSpec, Stderr: io.Discard}) }()
+		go func() {
+			_ = fleet.Serve(ctx, ln, fleet.ServeConfig{Name: "n0", Capacity: 2, Handler: HandleSpec, Stderr: io.Discard})
+		}()
 		coord := fleet.New(fleet.Config{Nodes: []string{ln.Addr().String()}, Metrics: r.Metrics, Stderr: io.Discard})
 		defer coord.Close()
 		r.Fleet = coord

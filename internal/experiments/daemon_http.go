@@ -1,0 +1,246 @@
+package experiments
+
+// HTTP front end for the Daemon. Mounted on the same mux as /metrics and
+// /debug (cmd/experiments -http), so one listener serves both telemetry
+// and the job API:
+//
+//	POST   /jobs              submit a campaign      -> 202, or 429/503 shed
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         one job's status
+//	DELETE /jobs/{id}         cancel
+//	GET    /jobs/{id}/stream  JSONL progress (one JobEvent per line,
+//	                          flushed as they happen, ends at terminal)
+//	GET    /jobs/{id}/result  figure output (text/plain; 409 until done)
+//	GET    /healthz           {"status":"ok"|"draining",...}
+//
+// Every response carries an X-Request-Id header (also in JSON error
+// bodies) so a client report can be matched to the daemon log. Handlers
+// hold per-request write deadlines via http.ResponseController — the
+// stream handler extends its deadline per line, so a slow consumer of a
+// long campaign is fine but a stuck one is disconnected.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"jvmpower/internal/jobqueue"
+)
+
+// streamWriteTimeout bounds each progress-stream write; the deadline is
+// re-armed per line, so it caps consumer stall, not campaign length.
+const streamWriteTimeout = 30 * time.Second
+
+// requestIDs mints process-unique request identifiers.
+var requestIDs atomic.Uint64
+
+// WithRequestID tags every request with an X-Request-Id header (both
+// directions: response header and request context via the header map)
+// before invoking next.
+func WithRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("r-%08d", requestIDs.Add(1))
+			r.Header.Set("X-Request-Id", id)
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// httpError is the structured JSON error body every handler returns:
+// machine-readable reason, human-readable detail, and the request ID for
+// log correlation.
+type httpError struct {
+	Error     string `json:"error"`
+	Reason    string `json:"reason,omitempty"`
+	Job       string `json:"job,omitempty"`
+	RetryMS   int64  `json:"retry_after_ms,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	Status    int    `json:"status"`
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, reason, msg string) {
+	writeErrorFull(w, r, httpError{Error: msg, Reason: reason, Status: status})
+}
+
+func writeErrorFull(w http.ResponseWriter, r *http.Request, e httpError) {
+	e.RequestID = r.Header.Get("X-Request-Id")
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryMS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", (e.RetryMS+999)/1000))
+	}
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// RegisterHTTP mounts the job API on mux (Go 1.22 method+wildcard
+// patterns). The caller wraps the mux in WithRequestID and owns server
+// timeouts; the stream handler manages its own write deadline.
+func (d *Daemon) RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", d.handleSubmit)
+	mux.HandleFunc("GET /jobs", d.handleList)
+	mux.HandleFunc("GET /jobs/{id}", d.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/stream", d.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/result", d.handleResult)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, r, http.StatusBadRequest, "bad_request", "invalid campaign spec: "+err.Error())
+		return
+	}
+	if spec.Client == "" {
+		spec.Client = clientFor(r)
+	}
+	id, err := d.Submit(spec)
+	if err != nil {
+		if se, ok := jobqueue.AsShed(err); ok {
+			status := http.StatusServiceUnavailable // queue_full, draining
+			if se.Reason == jobqueue.ReasonQuota {
+				status = http.StatusTooManyRequests
+			}
+			writeErrorFull(w, r, httpError{
+				Error: se.Error(), Reason: se.Reason, Job: id,
+				RetryMS: se.RetryAfter.Milliseconds(), Status: status,
+			})
+			return
+		}
+		writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	st, _ := d.Status(id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := d.List()
+	if jobs == nil {
+		jobs = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := d.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !d.Cancel(id) {
+		st, ok := d.Status(id)
+		if !ok {
+			writeError(w, r, http.StatusNotFound, "not_found", "no such job")
+			return
+		}
+		// Known but already terminal: cancellation is a no-op, report state.
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	st, _ := d.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := d.Status(id); !ok {
+		writeError(w, r, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.Header().Set("Cache-Control", "no-store")
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		evs, terminal, ok := d.WaitEvents(r.Context(), id, from)
+		if !ok || r.Context().Err() != nil {
+			return
+		}
+		// Re-arm the write deadline per batch: the server-wide write
+		// timeout would otherwise cut long campaigns mid-stream.
+		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		from += len(evs)
+		_ = rc.Flush()
+		if terminal {
+			return
+		}
+	}
+}
+
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	out, st, ok := d.Result(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	if st.State != "completed" {
+		writeError(w, r, http.StatusConflict, "not_completed",
+			fmt.Sprintf("job %s is %s, result available once completed", id, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, out)
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int    `json:"inflight"`
+	Jobs       int    `json:"jobs"`
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", QueueDepth: d.Depth(), Inflight: d.Inflight()}
+	d.mu.Lock()
+	h.Jobs = len(d.jobs)
+	d.mu.Unlock()
+	if d.Draining() {
+		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// clientFor derives a quota identity for requests that set none: the
+// X-Client header, else the remote host.
+func clientFor(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		if r.RemoteAddr != "" {
+			return r.RemoteAddr
+		}
+		return "anonymous"
+	}
+	return host
+}

@@ -107,6 +107,18 @@ type Runner struct {
 	// in-process and remote nodes cannot share it).
 	Fleet *fleet.Coordinator
 
+	// Shared, when non-nil, coalesces in-flight computations with other
+	// runners through a cross-runner flight table keyed by the
+	// content-addressed disk-cache key (see shared.go). The daemon gives
+	// every concurrent job's runner the same table, so overlapping
+	// campaigns from different clients dedupe to one computation.
+	Shared *SharedFlights
+	// OnPoint, when non-nil, observes every completed point (the same
+	// PointEvent the journal records). The daemon streams these to job
+	// progress subscribers. Called after the point resolves, off the
+	// figure-rendering path; it must not block for long.
+	OnPoint func(p Point, ev PointEvent)
+
 	mu     sync.Mutex
 	cache  map[pointKey]*flight
 	resume map[pointKey]bool

@@ -35,7 +35,7 @@ import (
 type FleetNodeEvent struct {
 	Event  string `json:"event"` // "node"
 	Node   string `json:"node"`
-	State  string `json:"state"` // "up", "down", or "breaker-open"
+	State  string `json:"state"` // "up", "down", "breaker-open", "draining", or "drained"
 	Detail string `json:"detail,omitempty"`
 }
 
@@ -98,10 +98,14 @@ func HandleSpec(spec pointproto.Spec) []byte {
 	return payload
 }
 
-// ServeNode runs one fleet executor node on addr until ctx is cancelled,
-// printing the resolved listen address (addr may carry port 0) so scripts
-// can scrape it. This is what `experiments -serve-node` runs.
-func ServeNode(ctx context.Context, addr string, capacity int, logw io.Writer) error {
+// ServeNode runs one fleet executor node on addr until ctx is cancelled or
+// drain closes, printing the resolved listen address (addr may carry port
+// 0) so scripts can scrape it. Closing drain (cmd/experiments wires the
+// first SIGTERM/SIGINT to it) is the graceful exit: the node finishes its
+// in-flight points, announces goodbye, and departs without the coordinator
+// counting a disconnect crash; cancelling ctx aborts outright. This is
+// what `experiments -serve-node` runs.
+func ServeNode(ctx context.Context, addr string, capacity int, drain <-chan struct{}, logw io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("experiments: fleet node: %w", err)
@@ -111,6 +115,7 @@ func ServeNode(ctx context.Context, addr string, capacity int, logw io.Writer) e
 		Capacity: capacity,
 		Handler:  HandleSpec,
 		Stderr:   logw,
+		Drain:    drain,
 	})
 	if err == context.Canceled {
 		return nil

@@ -67,7 +67,7 @@ type PointEvent struct {
 	S10        bool    `json:"s10,omitempty"`
 	FanOff     bool    `json:"fan_off,omitempty"`
 	Outcome    string  `json:"outcome"` // "ok" or "error"
-	Source     string  `json:"source"`  // "computed", "isolated", "fleet", "disk", "resume", or "merged"
+	Source     string  `json:"source"`  // "computed", "isolated", "fleet", "shared", "disk", "resume", or "merged"
 	DurationMS float64 `json:"duration_ms"`
 	Error      string  `json:"error,omitempty"`
 	// Attempts counts characterization attempts across retries and quorum
@@ -120,18 +120,30 @@ func (r *Runner) runPoint(p Point, k pointKey) (res *core.Result, err error) {
 		}
 		return cached, nil
 	}
-	if r.Fleet != nil {
-		source = "fleet"
-		res, attempts, err = r.computeFleet(p, k)
+	if r.Shared != nil {
+		// Cross-runner dedupe: coalesce with any other runner's in-flight
+		// computation of this content-addressed key (see shared.go).
+		res, source, attempts, err = r.Shared.compute(r, p, k)
 		return res, err
+	}
+	res, source, attempts, err = r.computePoint(p, k)
+	return res, err
+}
+
+// computePoint routes one cache-missed point to its executor: the fleet,
+// a supervised worker, or the in-process resilience stack, reporting
+// which as the journal source.
+func (r *Runner) computePoint(p Point, k pointKey) (*core.Result, string, int, error) {
+	if r.Fleet != nil {
+		res, attempts, err := r.computeFleet(p, k)
+		return res, "fleet", attempts, err
 	}
 	if r.Supervisor != nil {
-		source = "isolated"
-		res, attempts, err = r.computeIsolated(p, k)
-		return res, err
+		res, attempts, err := r.computeIsolated(p, k)
+		return res, "isolated", attempts, err
 	}
-	res, attempts, err = r.computeResilient(p, k)
-	return res, err
+	res, attempts, err := r.computeResilient(p, k)
+	return res, "computed", attempts, err
 }
 
 // observePoint records one completed point in the registry and journal.
@@ -148,7 +160,7 @@ func (r *Runner) observePoint(p Point, source string, d time.Duration, attempts 
 		}
 		r.Metrics.Histogram("experiments.point.seconds").Observe(d.Seconds())
 	}
-	if r.Journal != nil {
+	if r.Journal != nil || r.OnPoint != nil {
 		ev := PointEvent{
 			Bench:      p.Bench.Name,
 			Flavor:     p.Flavor.String(),
@@ -168,5 +180,8 @@ func (r *Runner) observePoint(p Point, source string, d time.Duration, attempts 
 			ev.Error = err.Error()
 		}
 		_ = r.Journal.Record(ev)
+		if r.OnPoint != nil {
+			r.OnPoint(p, ev)
+		}
 	}
 }

@@ -83,7 +83,8 @@ type Config struct {
 	// Stderr, when set, receives node lifecycle log lines.
 	Stderr io.Writer
 	// OnNodeEvent, when set, observes node lifecycle transitions
-	// (event "up", "down", "breaker-open") for journaling.
+	// (event "up", "down", "breaker-open", "draining", "drained") for
+	// journaling.
 	OnNodeEvent func(node, event, detail string)
 }
 
@@ -115,7 +116,8 @@ type node struct {
 	name     string
 	capacity int
 	up       bool
-	down     bool // permanent: breaker opened
+	down     bool // permanent: breaker opened or node drained
+	draining bool // node announced graceful drain (MsgNodeGoodbye pending EOF)
 	gen      uint64
 	conn     net.Conn
 	nextID   uint64
@@ -319,6 +321,9 @@ func (c *Coordinator) nodeLoop(n *node) {
 		c.wg.Add(1)
 		go c.sender(n, gen)
 		kind, err := c.readLoop(n, conn, br)
+		if c.nodeDeparted(n, conn) {
+			return
+		}
 		c.nodeFailed(n, conn, &supervisor.CrashError{Kind: kind, Detail: err.Error()})
 	}
 }
@@ -441,6 +446,12 @@ func (c *Coordinator) readLoop(n *node, conn net.Conn, br *bufio.Reader) (superv
 				return supervisor.CrashProtocol, err
 			}
 			c.complete(n, res)
+		case pointproto.MsgNodeGoodbye:
+			// Graceful drain announcement: the node has answered every
+			// task it accepted and will close the connection next. Stop
+			// assigning it work now; the EOF that follows is a clean
+			// departure, not a disconnect crash.
+			c.nodeDraining(n)
 		default:
 			return supervisor.CrashProtocol, fmt.Errorf("fleet: unexpected %s frame", typ)
 		}
@@ -529,6 +540,70 @@ func (c *Coordinator) nodeFailed(n *node, conn net.Conn, ce *supervisor.CrashErr
 	if tripped {
 		c.event(n, "breaker-open", fmt.Sprintf("%d consecutive deaths; node is down for the run", c.cfg.BreakerThreshold))
 	}
+}
+
+// nodeDraining handles a node's MsgNodeGoodbye: the node finished its
+// in-flight work and is leaving deliberately. The node is retired from
+// placement (down, no reconnect) and its queued-but-unsent tasks migrate
+// to the rest of the fleet — with no crash counters, no breaker feed, and
+// no requeue accounting, because nothing crashed and nothing started.
+func (c *Coordinator) nodeDraining(n *node) {
+	c.mu.Lock()
+	if c.shut || n.draining {
+		c.mu.Unlock()
+		return
+	}
+	n.draining = true
+	n.down = true // no new placement; the sender goroutine unwinds
+	migrate := n.queue
+	n.queue = nil
+	for _, t := range migrate {
+		c.enqueueLocked(t, n)
+	}
+	if len(migrate) > 0 {
+		c.cfg.Metrics.Counter("fleet.drain.migrated").Add(int64(len(migrate)))
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.event(n, "draining", fmt.Sprintf("goodbye received; %d queued task(s) migrated", len(migrate)))
+}
+
+// nodeDeparted finishes a drained node's lifecycle once its connection
+// unwinds: reports true (and cleans up without any crash accounting) when
+// the node had announced drain, false to let nodeFailed classify a real
+// death. In the clean sequence nothing is left inflight — the node answers
+// every accepted task before its goodbye — but a straggler assigned in the
+// race window migrates like queued work, again without crash counters.
+func (c *Coordinator) nodeDeparted(n *node, conn net.Conn) bool {
+	c.mu.Lock()
+	if !n.draining {
+		c.mu.Unlock()
+		return false
+	}
+	conn.Close()
+	if n.up {
+		c.cfg.Metrics.Gauge("fleet.nodes.up").Add(-1)
+	}
+	n.up = false
+	n.gen++
+	n.conn = nil
+	var move []*task
+	for id, t := range n.inflight {
+		delete(n.inflight, id)
+		move = append(move, t)
+	}
+	sort.Slice(move, func(i, j int) bool { return move[i].key < move[j].key })
+	for _, t := range move {
+		c.enqueueLocked(t, n)
+	}
+	if len(move) > 0 {
+		c.cfg.Metrics.Counter("fleet.drain.migrated").Add(int64(len(move)))
+	}
+	c.cfg.Metrics.Counter("fleet.drains").Inc()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.event(n, "drained", "clean departure: in-flight work answered, connection closed")
+	return true
 }
 
 // failLocked resolves a task with a terminal error. Failures are not

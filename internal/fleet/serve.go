@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jvmpower/internal/benchstat"
@@ -36,6 +37,14 @@ type ServeConfig struct {
 	HeartbeatInterval time.Duration
 	// Stderr, when set, receives node-side log lines.
 	Stderr io.Writer
+	// Drain, when non-nil, arms graceful drain: once it closes, the node
+	// stops accepting connections and tasks, finishes every in-flight
+	// point (results are still delivered, heartbeats keep ticking so the
+	// coordinator's watchdog stays fed), announces departure with a
+	// MsgNodeGoodbye frame, and closes each connection cleanly — the
+	// coordinator sees a drained node, not a disconnect crash. Serve then
+	// returns nil. Context cancellation remains the hard-abort path.
+	Drain <-chan struct{}
 }
 
 // Serve runs an executor node on a listener until ctx is cancelled: each
@@ -43,7 +52,8 @@ type ServeConfig struct {
 // capacity, benchstat-style environment capture), a heartbeat ticker, and
 // a Task-frame read loop that computes points concurrently up to Capacity
 // and answers with TaskResult frames in completion order. It returns after
-// every connection has unwound.
+// every connection has unwound — with nil when cfg.Drain triggered a
+// graceful drain.
 func Serve(ctx context.Context, ln net.Listener, cfg ServeConfig) error {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = runtime.GOMAXPROCS(0)
@@ -55,9 +65,10 @@ func Serve(ctx context.Context, ln net.Listener, cfg ServeConfig) error {
 		cfg.Name = ln.Addr().String()
 	}
 	var (
-		mu    sync.Mutex
-		conns = make(map[net.Conn]struct{})
-		wg    sync.WaitGroup
+		mu       sync.Mutex
+		conns    = make(map[net.Conn]struct{})
+		wg       sync.WaitGroup
+		draining atomic.Bool
 	)
 	closeAll := func() {
 		ln.Close()
@@ -70,6 +81,21 @@ func Serve(ctx context.Context, ln net.Listener, cfg ServeConfig) error {
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
+		if cfg.Drain != nil {
+			select {
+			case <-cfg.Drain:
+				// Stop accepting; live connections drain themselves (each
+				// serveConn watches cfg.Drain). A later ctx cancellation
+				// still hard-aborts a drain that wedges.
+				draining.Store(true)
+				ln.Close()
+			case <-ctx.Done():
+				closeAll()
+				return
+			case <-done:
+				return
+			}
+		}
 		select {
 		case <-ctx.Done():
 			closeAll()
@@ -79,6 +105,11 @@ func Serve(ctx context.Context, ln net.Listener, cfg ServeConfig) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if draining.Load() && ctx.Err() == nil {
+				wg.Wait() // every connection finishes its goodbye sequence
+				logf(cfg, "fleet node %s: drained", cfg.Name)
+				return nil
+			}
 			closeAll()
 			wg.Wait()
 			if ctx.Err() != nil {
@@ -127,13 +158,19 @@ func serveConn(conn net.Conn, cfg ServeConfig) {
 		return
 	}
 
+	// Two groups with different lifetimes: tasks must all finish before the
+	// goodbye frame (their results ride the same connection), while the
+	// heartbeat and drain watcher keep running *through* that wait — a long
+	// final point must not starve the coordinator's watchdog — and stop only
+	// when the connection is done for good.
 	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	defer wg.Wait()
+	var aux, tasks sync.WaitGroup
+	var draining atomic.Bool
+	defer aux.Wait()
 	defer close(stop)
-	wg.Add(1)
+	aux.Add(1)
 	go func() {
-		defer wg.Done()
+		defer aux.Done()
 		tick := time.NewTicker(cfg.HeartbeatInterval)
 		defer tick.Stop()
 		for {
@@ -147,30 +184,58 @@ func serveConn(conn net.Conn, cfg ServeConfig) {
 			}
 		}
 	}()
+	if cfg.Drain != nil {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			select {
+			case <-cfg.Drain:
+				draining.Store(true)
+				// Unblock the read loop without touching the write half:
+				// in-flight results and the goodbye still need the socket.
+				if tc, ok := conn.(*net.TCPConn); ok {
+					tc.CloseRead()
+				} else {
+					conn.SetReadDeadline(time.Now())
+				}
+			case <-stop:
+			}
+		}()
+	}
 
 	br := bufio.NewReader(conn)
 	sem := make(chan struct{}, cfg.Capacity)
 	for {
 		typ, payload, err := pointproto.ReadFrame(br)
 		if err != nil {
-			if err != io.EOF {
+			if draining.Load() {
+				// Drain epilogue: finish in-flight points (their TaskResult
+				// frames are sent from the task goroutines), then announce
+				// the deliberate departure so the coordinator's next EOF
+				// reads as a drained node rather than a crash.
+				tasks.Wait()
+				_ = send(pointproto.MsgNodeGoodbye, nil)
+			} else if err != io.EOF {
 				logf(cfg, "fleet node %s: read: %v", cfg.Name, err)
 			}
+			tasks.Wait()
 			return
 		}
 		if typ != pointproto.MsgTask {
 			logf(cfg, "fleet node %s: unexpected %s frame", cfg.Name, typ)
+			tasks.Wait()
 			return
 		}
 		task, err := pointproto.UnmarshalTask(payload)
 		if err != nil {
 			logf(cfg, "fleet node %s: %v", cfg.Name, err)
+			tasks.Wait()
 			return
 		}
 		sem <- struct{}{} // backpressure: at most Capacity points computing
-		wg.Add(1)
+		tasks.Add(1)
 		go func() {
-			defer wg.Done()
+			defer tasks.Done()
 			defer func() { <-sem }()
 			defer func() {
 				// A panicking handler drops the connection: the

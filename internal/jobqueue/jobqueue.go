@@ -1,0 +1,528 @@
+// Package jobqueue is the admission-control core of the characterization
+// service: a prioritized, bounded job queue with typed load shedding,
+// token-bucket per-client quotas, max-inflight execution, per-job
+// deadlines, graceful drain, and a crash-consistent abort.
+//
+// The robustness contract, in order of evaluation at Submit:
+//
+//  1. A draining or closed queue sheds everything (reason "draining") —
+//     SIGTERM stops admissions first, before anything else winds down.
+//  2. A full queue sheds (reason "queue_full") before the client's quota
+//     is charged: hitting a saturated service must not also burn the
+//     client's tokens.
+//  3. An exhausted token bucket sheds (reason "quota") with a RetryAfter
+//     hint computed from the refill rate.
+//
+// Every rejection is a typed *ShedError — there are no silent drops — and
+// every accepted job reaches exactly one terminal state (completed,
+// failed, cancelled, expired) through the OnTransition hook, which is
+// what lets the daemon layer journal a complete, CRC-enveloped job log.
+// The deliberate exception is Abort: it stops everything *without*
+// terminal transitions, so a crash (or a second SIGTERM) leaves accepted
+// jobs incomplete in the journal, exactly what restart recovery looks for.
+package jobqueue
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jvmpower/internal/metrics"
+)
+
+// State is a job's lifecycle position. Transitions are strictly
+// Queued -> Running -> one of the terminal states, except that a queued
+// job may go terminal directly (cancelled before start, or expired when
+// its deadline passes while waiting).
+type State string
+
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Completed State = "completed"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+	Expired   State = "expired"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	switch s {
+	case Completed, Failed, Cancelled, Expired:
+		return true
+	}
+	return false
+}
+
+// Shed reasons carried by ShedError.
+const (
+	ReasonQueueFull = "queue_full"
+	ReasonQuota     = "quota"
+	ReasonDraining  = "draining"
+)
+
+// ShedError is a typed admission rejection. It is the load-shedding
+// contract: a client is never silently dropped, it gets a reason and —
+// for quota rejections — a retry hint.
+type ShedError struct {
+	Reason     string // queue_full, quota, or draining
+	Client     string
+	Detail     string
+	RetryAfter time.Duration // >0 when the condition clears on its own
+}
+
+func (e *ShedError) Error() string {
+	s := fmt.Sprintf("jobqueue: shed (%s): %s", e.Reason, e.Detail)
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(" (retry after %v)", e.RetryAfter.Round(time.Millisecond))
+	}
+	return s
+}
+
+// AsShed unwraps a ShedError.
+func AsShed(err error) (*ShedError, bool) {
+	var se *ShedError
+	ok := errors.As(err, &se)
+	return se, ok
+}
+
+// Job is one queued unit of work. ID, Client, Priority, Deadline, and
+// Payload are the caller's; everything unexported belongs to the queue.
+type Job struct {
+	ID       string
+	Client   string
+	Priority int       // higher runs first; ties FIFO by admission order
+	Deadline time.Time // zero = none; applies queued (expiry) and running (ctx deadline)
+	Payload  any
+
+	seq     uint64
+	state   State
+	reason  string // terminal detail (error text, shed reason, ...)
+	cancel  context.CancelFunc
+	heapIdx int // index in the pending heap; -1 when not queued
+}
+
+// Status is a point-in-time public view of a job.
+type Status struct {
+	ID       string `json:"id"`
+	Client   string `json:"client"`
+	Priority int    `json:"priority"`
+	State    State  `json:"state"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Config configures a Queue.
+type Config struct {
+	// MaxQueue bounds the pending (not yet running) set; submissions
+	// beyond it shed with ReasonQueueFull. Defaults to 64.
+	MaxQueue int
+	// MaxInflight is the number of executor goroutines — the cap on
+	// concurrently running jobs. Defaults to 1.
+	MaxInflight int
+	// QuotaRate is each client's sustained submission budget in tokens
+	// per second; QuotaBurst is the bucket capacity. Rate 0 disables
+	// quotas. Burst defaults to max(1, ceil(rate)).
+	QuotaRate  float64
+	QuotaBurst int
+	// Execute runs one job. The context carries the job's deadline and is
+	// cancelled by Cancel and Abort. Return nil for Completed; a context
+	// error maps to Cancelled/Expired; anything else is Failed.
+	Execute func(ctx context.Context, j *Job) error
+	// OnTransition observes every state change (from is "" on admission).
+	// Called with the queue's mutex held so transition order is exact —
+	// the journaling daemon depends on that — so it must not call back
+	// into the queue.
+	OnTransition func(j *Job, from, to State, reason string)
+	// Metrics receives jobqueue.* instruments. Nil disables.
+	Metrics *metrics.Registry
+	// Clock substitutes time.Now for tests.
+	Clock func() time.Time
+}
+
+// Queue is the admission-controlled job queue. Create with New, start the
+// executors with Start, stop with Drain (graceful) or Abort (immediate).
+type Queue struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  jobHeap
+	jobs     map[string]*Job
+	order    []*Job // admission order, for listing
+	buckets  map[string]*bucket
+	inflight int
+	seq      uint64
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New builds a Queue. Callers must Start it before submitting.
+func New(cfg Config) *Queue {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 1
+	}
+	if cfg.QuotaRate > 0 && cfg.QuotaBurst <= 0 {
+		cfg.QuotaBurst = 1
+		if cfg.QuotaRate > 1 {
+			cfg.QuotaBurst = int(cfg.QuotaRate + 0.999)
+		}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	q := &Queue{
+		cfg:     cfg,
+		jobs:    make(map[string]*Job),
+		buckets: make(map[string]*bucket),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Start launches the MaxInflight executor goroutines.
+func (q *Queue) Start() {
+	for i := 0; i < q.cfg.MaxInflight; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+}
+
+// Submit admits one job or sheds it with a typed *ShedError. Admission
+// order: drain state, queue depth, client quota (see the package comment
+// for why depth precedes quota).
+func (q *Queue) Submit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.draining {
+		q.shedLocked(ReasonDraining)
+		return &ShedError{Reason: ReasonDraining, Client: j.Client,
+			Detail: "queue is draining; not accepting jobs"}
+	}
+	if len(q.pending) >= q.cfg.MaxQueue {
+		q.shedLocked(ReasonQueueFull)
+		return &ShedError{Reason: ReasonQueueFull, Client: j.Client,
+			Detail: fmt.Sprintf("queue full (%d pending)", len(q.pending))}
+	}
+	if q.cfg.QuotaRate > 0 {
+		if wait, ok := q.takeTokenLocked(j.Client); !ok {
+			q.shedLocked(ReasonQuota)
+			return &ShedError{Reason: ReasonQuota, Client: j.Client,
+				Detail: fmt.Sprintf("client %q over quota (%.3g/s, burst %d)",
+					j.Client, q.cfg.QuotaRate, q.cfg.QuotaBurst),
+				RetryAfter: wait}
+		}
+	}
+	q.admitLocked(j, "")
+	return nil
+}
+
+// Requeue re-admits a recovered job, bypassing depth and quota checks —
+// the job was already admitted (and journaled) in a previous life; crash
+// recovery must not shed it. Only a closed queue refuses.
+func (q *Queue) Requeue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.draining {
+		return &ShedError{Reason: ReasonDraining, Client: j.Client,
+			Detail: "queue is draining; cannot requeue"}
+	}
+	q.admitLocked(j, "recovered")
+	q.counter("jobqueue.recovered").Inc()
+	return nil
+}
+
+// admitLocked registers and enqueues an accepted job.
+func (q *Queue) admitLocked(j *Job, reason string) {
+	if _, dup := q.jobs[j.ID]; dup {
+		panic(fmt.Sprintf("jobqueue: duplicate job ID %q", j.ID))
+	}
+	q.seq++
+	j.seq = q.seq
+	j.heapIdx = -1
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j)
+	q.transitionLocked(j, Queued, reason)
+	heap.Push(&q.pending, j)
+	q.counter("jobqueue.submitted").Inc()
+	q.gauge("jobqueue.depth").Set(float64(len(q.pending)))
+	q.cond.Broadcast()
+}
+
+// takeTokenLocked charges one token from the client's bucket, refilled at
+// QuotaRate since its last use. Returns the wait until the next token when
+// the bucket is dry.
+func (q *Queue) takeTokenLocked(client string) (time.Duration, bool) {
+	now := q.cfg.Clock()
+	b := q.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: float64(q.cfg.QuotaBurst), last: now}
+		q.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.cfg.QuotaRate
+		if b.tokens > float64(q.cfg.QuotaBurst) {
+			b.tokens = float64(q.cfg.QuotaBurst)
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / q.cfg.QuotaRate * float64(time.Second))
+		return wait, false
+	}
+	b.tokens--
+	return 0, true
+}
+
+// Cancel requests a job's cancellation: a queued job goes terminal
+// immediately; a running job's context is cancelled and the executor
+// records the terminal state when Execute returns. Unknown IDs report
+// false.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.state {
+	case Queued:
+		if j.heapIdx >= 0 {
+			heap.Remove(&q.pending, j.heapIdx)
+			q.gauge("jobqueue.depth").Set(float64(len(q.pending)))
+		}
+		q.transitionLocked(j, Cancelled, "cancelled while queued")
+		q.counter("jobqueue.cancelled").Inc()
+		q.cond.Broadcast()
+		return true
+	case Running:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+	return false
+}
+
+// Get returns a job's status.
+func (q *Queue) Get(id string) (Status, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return q.statusLocked(j), true
+}
+
+// Jobs returns every known job's status in admission order.
+func (q *Queue) Jobs() []Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Status, 0, len(q.order))
+	for _, j := range q.order {
+		out = append(out, q.statusLocked(j))
+	}
+	return out
+}
+
+func (q *Queue) statusLocked(j *Job) Status {
+	return Status{ID: j.ID, Client: j.Client, Priority: j.Priority, State: j.state, Reason: j.reason}
+}
+
+// Depth returns the pending count; Inflight the running count; Draining
+// the drain flag. Together they are the /healthz payload.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+func (q *Queue) Inflight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflight
+}
+
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.draining
+}
+
+// Drain stops admissions (submissions shed with ReasonDraining) and lets
+// running jobs finish. Queued jobs are deliberately left untouched, with
+// no terminal transition: their journal record stays incomplete, which is
+// precisely what restart recovery picks up — drain checkpoints them.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	q.draining = true
+	q.gauge("jobqueue.draining").Set(1)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Wait blocks until no job is running (drain completion) or ctx expires.
+func (q *Queue) Wait(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() { q.cond.Broadcast() })
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.inflight > 0 {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		q.cond.Wait()
+	}
+	return nil
+}
+
+// Abort is the crash-consistent stop: close the queue, cancel every
+// running job's context, and wait for the executors — recording *no*
+// terminal transitions. In-flight and queued jobs stay incomplete in the
+// journal, so a restart recovers and re-runs them. This is both the
+// second-SIGTERM path and the in-process stand-in for SIGKILL in tests.
+func (q *Queue) Abort() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	q.draining = true
+	q.gauge("jobqueue.draining").Set(1)
+	for _, j := range q.jobs {
+		if j.state == Running && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// worker is one executor: pop the highest-priority runnable job, run it,
+// record the terminal state. Exits when the queue closes or drains.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for {
+			if q.closed || q.draining {
+				q.mu.Unlock()
+				return
+			}
+			if len(q.pending) > 0 {
+				break
+			}
+			q.cond.Wait()
+		}
+		j := heap.Pop(&q.pending).(*Job)
+		q.gauge("jobqueue.depth").Set(float64(len(q.pending)))
+		now := q.cfg.Clock()
+		if !j.Deadline.IsZero() && now.After(j.Deadline) {
+			q.transitionLocked(j, Expired, "deadline passed while queued")
+			q.counter("jobqueue.expired").Inc()
+			q.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if !j.Deadline.IsZero() {
+			ctx, cancel = context.WithDeadline(context.Background(), j.Deadline)
+		}
+		j.cancel = cancel
+		q.inflight++
+		q.gauge("jobqueue.inflight").Set(float64(q.inflight))
+		q.transitionLocked(j, Running, "")
+		q.mu.Unlock()
+
+		err := q.cfg.Execute(ctx, j)
+		cancel()
+
+		q.mu.Lock()
+		q.inflight--
+		q.gauge("jobqueue.inflight").Set(float64(q.inflight))
+		j.cancel = nil
+		if !q.closed {
+			// A closed queue (Abort) suppresses terminal transitions:
+			// the journal must look exactly like a crash.
+			switch {
+			case err == nil:
+				q.transitionLocked(j, Completed, "")
+				q.counter("jobqueue.completed").Inc()
+			case errors.Is(err, context.DeadlineExceeded):
+				q.transitionLocked(j, Expired, "deadline exceeded while running")
+				q.counter("jobqueue.expired").Inc()
+			case errors.Is(err, context.Canceled):
+				q.transitionLocked(j, Cancelled, "cancelled while running")
+				q.counter("jobqueue.cancelled").Inc()
+			default:
+				q.transitionLocked(j, Failed, err.Error())
+				q.counter("jobqueue.failed").Inc()
+			}
+		}
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// transitionLocked moves j to state and fires the hook.
+func (q *Queue) transitionLocked(j *Job, to State, reason string) {
+	from := j.state
+	j.state = to
+	j.reason = reason
+	if q.cfg.OnTransition != nil {
+		q.cfg.OnTransition(j, from, to, reason)
+	}
+}
+
+func (q *Queue) shedLocked(reason string) {
+	q.counter("jobqueue.shed." + reason).Inc()
+}
+
+// counter and gauge lean on the registry's nil-safety: with no Metrics
+// configured every instrument call is a no-op.
+func (q *Queue) counter(name string) *metrics.Counter { return q.cfg.Metrics.Counter(name) }
+func (q *Queue) gauge(name string) *metrics.Gauge     { return q.cfg.Metrics.Gauge(name) }
+
+// jobHeap orders pending jobs: highest Priority first, FIFO (seq) within
+// a priority. container/heap keeps heapIdx fresh for O(log n) Cancel.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].Priority != h[k].Priority {
+		return h[i].Priority > h[k].Priority
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int) {
+	h[i], h[k] = h[k], h[i]
+	h[i].heapIdx = i
+	h[k].heapIdx = k
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	j := old[len(old)-1]
+	old[len(old)-1] = nil
+	j.heapIdx = -1
+	*h = old[:len(old)-1]
+	return j
+}

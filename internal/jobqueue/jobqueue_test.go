@@ -1,0 +1,435 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder captures every transition the queue reports, in order. The
+// OnTransition hook runs under the queue mutex, so appends are already
+// serialized; the recorder's own mutex covers concurrent reads.
+type recorder struct {
+	mu  sync.Mutex
+	trs []string
+}
+
+func (r *recorder) hook(j *Job, from, to State, reason string) {
+	r.mu.Lock()
+	r.trs = append(r.trs, fmt.Sprintf("%s:%s->%s", j.ID, from, to))
+	r.mu.Unlock()
+}
+
+func (r *recorder) all() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.trs...)
+}
+
+func (r *recorder) last(id string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last := ""
+	for _, tr := range r.trs {
+		if strings.HasPrefix(tr, id+":") {
+			last = tr
+		}
+	}
+	return last
+}
+
+// waitState polls until the job reaches the state or the test times out.
+func waitState(t *testing.T, q *Queue, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := q.Get(id)
+		if ok && st.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// gateExec returns an Execute that blocks each job on its gate channel
+// (created on first use) and honours cancellation. ran records execution
+// order.
+type gateExec struct {
+	mu    sync.Mutex
+	gates map[string]chan error
+	ran   []string
+}
+
+func newGateExec() *gateExec {
+	return &gateExec{gates: make(map[string]chan error)}
+}
+
+func (g *gateExec) gate(id string) chan error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch, ok := g.gates[id]
+	if !ok {
+		ch = make(chan error, 1)
+		g.gates[id] = ch
+	}
+	return ch
+}
+
+func (g *gateExec) execute(ctx context.Context, j *Job) error {
+	g.mu.Lock()
+	g.ran = append(g.ran, j.ID)
+	g.mu.Unlock()
+	select {
+	case err := <-g.gate(j.ID):
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gateExec) order() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.ran...)
+}
+
+func TestLifecycleCompleted(t *testing.T) {
+	rec := &recorder{}
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute, OnTransition: rec.hook})
+	q.Start()
+	defer q.Abort()
+	if err := q.Submit(&Job{ID: "j1", Client: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "j1", Running)
+	g.gate("j1") <- nil
+	waitState(t, q, "j1", Completed)
+	want := []string{"j1:->queued", "j1:queued->running", "j1:running->completed"}
+	if got := rec.all(); strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute})
+	q.Start()
+	defer q.Abort()
+	if err := q.Submit(&Job{ID: "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "j1", Running)
+	g.gate("j1") <- errors.New("simulated figure failure")
+	waitState(t, q, "j1", Failed)
+	st, _ := q.Get("j1")
+	if !strings.Contains(st.Reason, "simulated figure failure") {
+		t.Fatalf("reason = %q", st.Reason)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute})
+	q.Start()
+	defer q.Abort()
+	// j0 occupies the single executor first; the rest queue up behind it
+	// and must pop in priority order, FIFO within a priority.
+	if err := q.Submit(&Job{ID: "j0"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "j0", Running)
+	for _, j := range []*Job{
+		{ID: "low-1", Priority: 1},
+		{ID: "high", Priority: 9},
+		{ID: "low-2", Priority: 1},
+		{ID: "mid", Priority: 5},
+	} {
+		if err := q.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"j0", "high", "mid", "low-1", "low-2"} {
+		g.gate(id) <- nil
+		waitState(t, q, id, Completed)
+	}
+	want := "j0 high mid low-1 low-2"
+	if got := strings.Join(g.order(), " "); got != want {
+		t.Fatalf("execution order = %q, want %q", got, want)
+	}
+}
+
+func TestQueueFullShed(t *testing.T) {
+	g := newGateExec()
+	q := New(Config{MaxQueue: 1, MaxInflight: 1, Execute: g.execute})
+	q.Start()
+	defer q.Abort()
+	if err := q.Submit(&Job{ID: "j1", Client: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "j1", Running) // j1 popped: the queue itself is empty
+	if err := q.Submit(&Job{ID: "j2", Client: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Submit(&Job{ID: "j3", Client: "b"})
+	se, ok := AsShed(err)
+	if !ok || se.Reason != ReasonQueueFull {
+		t.Fatalf("err = %v, want queue_full ShedError", err)
+	}
+	if se.Client != "b" {
+		t.Fatalf("shed client = %q", se.Client)
+	}
+	// The shed job is unknown to the queue: no state, no silent retention.
+	if _, known := q.Get("j3"); known {
+		t.Fatal("shed job should not be registered")
+	}
+	g.gate("j1") <- nil
+	g.gate("j2") <- nil
+	waitState(t, q, "j2", Completed)
+}
+
+func TestQuotaShedAndRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+	g := newGateExec()
+	q := New(Config{
+		MaxQueue: 16, MaxInflight: 1,
+		QuotaRate: 0.5, QuotaBurst: 2, Clock: clock,
+		Execute: g.execute,
+	})
+	q.Start()
+	defer q.Abort()
+	// Burst of 3 from one client: 2 tokens in the bucket, third sheds.
+	for i := 1; i <= 2; i++ {
+		if err := q.Submit(&Job{ID: fmt.Sprintf("a%d", i), Client: "alice"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := q.Submit(&Job{ID: "a3", Client: "alice"})
+	se, ok := AsShed(err)
+	if !ok || se.Reason != ReasonQuota {
+		t.Fatalf("err = %v, want quota ShedError", err)
+	}
+	if se.RetryAfter <= 0 || se.RetryAfter > 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 2s]", se.RetryAfter)
+	}
+	// Quotas are per client: bob is unaffected by alice's burst.
+	if err := q.Submit(&Job{ID: "b1", Client: "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	// At 0.5 tokens/s, two seconds refills exactly one token.
+	advance(2 * time.Second)
+	if err := q.Submit(&Job{ID: "a4", Client: "alice"}); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+	if err := q.Submit(&Job{ID: "a5", Client: "alice"}); err == nil {
+		t.Fatal("bucket should be dry again")
+	}
+	for _, id := range []string{"a1", "a2", "b1", "a4"} {
+		g.gate(id) <- nil
+		waitState(t, q, id, Completed)
+	}
+}
+
+func TestDrainCheckpointsQueuedJobs(t *testing.T) {
+	rec := &recorder{}
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute, OnTransition: rec.hook})
+	q.Start()
+	if err := q.Submit(&Job{ID: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "running", Running)
+	if err := q.Submit(&Job{ID: "parked"}); err != nil {
+		t.Fatal(err)
+	}
+	q.Drain()
+	if !q.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	err := q.Submit(&Job{ID: "late"})
+	if se, ok := AsShed(err); !ok || se.Reason != ReasonDraining {
+		t.Fatalf("err = %v, want draining ShedError", err)
+	}
+	g.gate("running") <- nil
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	waitState(t, q, "running", Completed)
+	// The queued job is checkpointed, not cancelled: still Queued, with no
+	// terminal transition recorded — an incomplete journal entry for
+	// restart recovery to find.
+	if st, _ := q.Get("parked"); st.State != Queued {
+		t.Fatalf("parked job state = %q, want queued", st.State)
+	}
+	if last := rec.last("parked"); last != "parked:->queued" {
+		t.Fatalf("parked job's last transition = %q, want admission only", last)
+	}
+	q.Abort()
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute})
+	q.Start()
+	defer q.Abort()
+	if err := q.Submit(&Job{ID: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "running", Running)
+	if err := q.Submit(&Job{ID: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Cancel("queued") {
+		t.Fatal("Cancel(queued) = false")
+	}
+	waitState(t, q, "queued", Cancelled)
+	if !q.Cancel("running") {
+		t.Fatal("Cancel(running) = false")
+	}
+	waitState(t, q, "running", Cancelled)
+	if q.Cancel("missing") {
+		t.Fatal("Cancel of unknown ID should report false")
+	}
+	// The cancelled-from-queue job must never have executed.
+	for _, id := range g.order() {
+		if id == "queued" {
+			t.Fatal("cancelled queued job was executed")
+		}
+	}
+}
+
+func TestDeadlineExpiresQueuedJob(t *testing.T) {
+	now := time.Unix(2000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute, Clock: clock})
+	q.Start()
+	defer q.Abort()
+	if err := q.Submit(&Job{ID: "blocker"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "blocker", Running)
+	if err := q.Submit(&Job{ID: "doomed", Deadline: now.Add(time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	clockMu.Lock()
+	now = now.Add(5 * time.Second)
+	clockMu.Unlock()
+	g.gate("blocker") <- nil
+	waitState(t, q, "doomed", Expired)
+	for _, id := range g.order() {
+		if id == "doomed" {
+			t.Fatal("expired job was executed")
+		}
+	}
+}
+
+func TestDeadlineExpiresRunningJob(t *testing.T) {
+	// The running-job deadline rides context.WithDeadline, which needs the
+	// real clock; keep it short.
+	q := New(Config{MaxInflight: 1, Execute: func(ctx context.Context, j *Job) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	q.Start()
+	defer q.Abort()
+	if err := q.Submit(&Job{ID: "j1", Deadline: time.Now().Add(30 * time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "j1", Expired)
+}
+
+func TestAbortSuppressesTerminalTransitions(t *testing.T) {
+	rec := &recorder{}
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute, OnTransition: rec.hook})
+	q.Start()
+	if err := q.Submit(&Job{ID: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "running", Running)
+	if err := q.Submit(&Job{ID: "parked"}); err != nil {
+		t.Fatal(err)
+	}
+	q.Abort() // cancels the running context and waits for executors
+	// The crash-consistency contract: no terminal transition was reported
+	// for either job, exactly as if the process had been SIGKILLed.
+	if last := rec.last("running"); last != "running:queued->running" {
+		t.Fatalf("running job's last transition = %q, want queued->running", last)
+	}
+	if last := rec.last("parked"); last != "parked:->queued" {
+		t.Fatalf("parked job's last transition = %q, want admission only", last)
+	}
+	if err := q.Submit(&Job{ID: "late"}); err == nil {
+		t.Fatal("Submit after Abort should shed")
+	}
+}
+
+func TestRequeueBypassesAdmission(t *testing.T) {
+	g := newGateExec()
+	// Queue depth 1 and a dry quota: a recovered job must get in anyway.
+	q := New(Config{MaxQueue: 1, MaxInflight: 1, QuotaRate: 1e-9, QuotaBurst: 1, Execute: g.execute})
+	q.Start()
+	defer q.Abort()
+	if err := q.Submit(&Job{ID: "j1", Client: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "j1", Running)
+	if err := q.Submit(&Job{ID: "j2", Client: "a"}); err == nil {
+		t.Fatal("second submit should shed on quota")
+	}
+	if err := q.Requeue(&Job{ID: "rec-1", Client: "a"}); err != nil {
+		t.Fatalf("Requeue: %v", err)
+	}
+	if err := q.Requeue(&Job{ID: "rec-2", Client: "a"}); err != nil {
+		t.Fatalf("Requeue past depth: %v", err)
+	}
+	for _, id := range []string{"j1", "rec-1", "rec-2"} {
+		g.gate(id) <- nil
+		waitState(t, q, id, Completed)
+	}
+}
+
+func TestJobsListsAdmissionOrder(t *testing.T) {
+	g := newGateExec()
+	q := New(Config{MaxInflight: 1, Execute: g.execute})
+	q.Start()
+	defer q.Abort()
+	for _, id := range []string{"c", "a", "b"} {
+		if err := q.Submit(&Job{ID: id, Priority: len(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []string
+	for _, st := range q.Jobs() {
+		ids = append(ids, st.ID)
+	}
+	if got := strings.Join(ids, " "); got != "c a b" {
+		t.Fatalf("Jobs order = %q, want admission order", got)
+	}
+}

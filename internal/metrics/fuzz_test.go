@@ -31,9 +31,9 @@ func FuzzJournalDecode(f *testing.F) {
 		testEvent{Name: "fig7/_209_db/GenMS/64MB", N: 2, MS: 12.5},
 	)
 	f.Add(intact)
-	f.Add(intact[:len(intact)-9])                                          // torn tail
-	f.Add([]byte(`{"name":"legacy","n":3,"ms":1}` + "\n"))                 // pre-envelope line
-	f.Add(append([]byte("not json at all\n"), intact...))                  // garbage prefix
+	f.Add(intact[:len(intact)-9])                                               // torn tail
+	f.Add([]byte(`{"name":"legacy","n":3,"ms":1}` + "\n"))                      // pre-envelope line
+	f.Add(append([]byte("not json at all\n"), intact...))                       // garbage prefix
 	f.Add(bytes.Replace(intact, []byte(`"crc":"c1:`), []byte(`"crc":"c9:`), 1)) // future envelope version
 	f.Add([]byte("\n\n\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {

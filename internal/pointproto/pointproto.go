@@ -62,8 +62,13 @@ const (
 	// the opaque result payload (the same bytes a pipe worker's MsgResult
 	// carries).
 	MsgTaskResult MsgType = 7
+	// MsgNodeGoodbye is a fleet node's drain announcement: the node has
+	// finished (and answered) every in-flight task and is about to close
+	// the connection deliberately. A coordinator that has seen it treats
+	// the following EOF as a clean departure, not a disconnect crash.
+	MsgNodeGoodbye MsgType = 8
 
-	maxMsgType = MsgTaskResult
+	maxMsgType = MsgNodeGoodbye
 )
 
 // String names the frame type for diagnostics.
@@ -83,6 +88,8 @@ func (t MsgType) String() string {
 		return "task"
 	case MsgTaskResult:
 		return "task-result"
+	case MsgNodeGoodbye:
+		return "node-goodbye"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
